@@ -1,0 +1,63 @@
+// Figure 7 — effectiveness of the Euclidean lower bound (ELB).
+//
+// Compares opt-NEAT-ELB against opt-NEAT-Dijkstra (Phase 3 without the
+// Euclidean prefilter, computing all four shortest paths per flow pair) on
+// the ATL (a) and SJ (b) datasets. The paper's observations to reproduce:
+// the Dijkstra variant's cost tracks the *number of flows* (Table III), not
+// the dataset size — visible in the SJ series — and ELB removes most of the
+// shortest-path work.
+#include <iostream>
+
+#include "common/string_util.h"
+#include "core/clusterer.h"
+#include "eval/experiments.h"
+#include "eval/table.h"
+
+using namespace neat;
+
+namespace {
+
+void run_city(const char* city, eval::ExperimentEnv& env) {
+  const roadnet::RoadNetwork& net = env.network(city);
+
+  Config elb_cfg;
+  elb_cfg.refine.epsilon = 3000.0;
+  elb_cfg.refine.use_elb = true;
+  Config dij_cfg = elb_cfg;
+  dij_cfg.refine.use_elb = false;
+  // The paper's opt-NEAT-Dijkstra computes full shortest paths.
+  dij_cfg.refine.bound_searches_at_epsilon = false;
+  const NeatClusterer with_elb(net, elb_cfg);
+  const NeatClusterer with_dijkstra(net, dij_cfg);
+
+  eval::TextTable table({"dataset", "#flows", "opt-NEAT-ELB s", "opt-NEAT-Dijkstra s",
+                         "phase3 ELB s", "phase3 Dij s", "sp-calls ELB", "sp-calls Dij",
+                         "pruned pairs"});
+  for (const std::size_t objects : eval::kPaperObjectCounts) {
+    const traj::TrajectoryDataset& data = env.dataset(city, objects);
+    const Result a = with_elb.run(data);
+    const Result b = with_dijkstra.run(data);
+    table.add_row({str_cat(city, objects), std::to_string(a.flow_clusters.size()),
+                   format_fixed(a.timing.total_s(), 3), format_fixed(b.timing.total_s(), 3),
+                   format_fixed(a.timing.phase3_s, 3), format_fixed(b.timing.phase3_s, 3),
+                   std::to_string(a.sp_computations), std::to_string(b.sp_computations),
+                   std::to_string(a.elb_pruned_pairs)});
+  }
+  std::cout << "(" << (city[0] == 'A' ? "a" : "b") << ") " << city << " datasets:\n";
+  table.print(std::cout);
+  table.write_csv(str_cat(eval::results_dir(), "/fig7_", city, "_elb.csv"));
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  eval::print_scale_banner(std::cout, "Figure 7: ELB vs plain Dijkstra in Phase 3");
+  eval::ExperimentEnv& env = eval::ExperimentEnv::instance();
+  run_city("ATL", env);
+  run_city("SJ", env);
+  std::cout << "(shapes to check: Dijkstra phase-3 time tracks #flows, not points —\n"
+               "the paper's SJ1000 spike, cf. Table III — and ELB collapses both the\n"
+               "sp-call count and the phase-3 time)\n";
+  return 0;
+}

@@ -1,0 +1,217 @@
+// Micro-benchmarks (google-benchmark) for the kernels the paper's cost
+// arguments rest on: netflow set intersection, Dijkstra node distances,
+// grid lookups, the modified Hausdorff distance with and without ELB
+// pruning, t-fragment extraction, and the TraClus segment distance.
+#include <benchmark/benchmark.h>
+
+#include "core/clusterer.h"
+#include "core/fragmenter.h"
+#include "core/netflow.h"
+#include "core/refiner.h"
+#include "roadnet/generators.h"
+#include "roadnet/shortest_path.h"
+#include "roadnet/spatial_index.h"
+#include "sim/mobility_simulator.h"
+#include "traclus/segment_distance.h"
+
+using namespace neat;
+
+namespace {
+
+/// Lazily built shared fixture: one mid-sized city + one dataset + flows.
+struct Fixture {
+  roadnet::RoadNetwork net;
+  roadnet::SegmentGridIndex index;
+  traj::TrajectoryDataset data;
+  Result flow_result;
+
+  static const Fixture& get() {
+    static Fixture f;
+    return f;
+  }
+
+ private:
+  Fixture()
+      : net(roadnet::make_city([] {
+          roadnet::CityParams p;
+          p.rows = 40;
+          p.cols = 40;
+          p.spacing_m = 140.0;
+          p.seed = 99;
+          return p;
+        }())),
+        index(net) {
+    const sim::SimConfig scfg = sim::default_config(net, 3, 3);
+    data = sim::MobilitySimulator(net, scfg).generate(200, 7);
+    Config cfg;
+    cfg.mode = Mode::kFlow;
+    cfg.flow.min_card = 1.0;
+    flow_result = NeatClusterer(net, cfg).run(data);
+  }
+};
+
+void BM_NetflowIntersection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<TrajectoryId> a;
+  std::vector<TrajectoryId> b;
+  for (std::size_t i = 0; i < n; ++i) {
+    a.push_back(TrajectoryId(static_cast<std::int64_t>(2 * i)));
+    b.push_back(TrajectoryId(static_cast<std::int64_t>(3 * i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_common(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_NetflowIntersection)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DijkstraNodeDistance(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  roadnet::NodeDistanceOracle oracle(f.net);
+  const auto far = NodeId(static_cast<std::int32_t>(f.net.node_count() - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.distance(NodeId(0), far));
+  }
+}
+BENCHMARK(BM_DijkstraNodeDistance);
+
+void BM_GridNearestSegment(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const roadnet::Bounds bb = f.net.bounding_box();
+  double x = bb.min.x;
+  for (auto _ : state) {
+    x += 97.0;
+    if (x > bb.max.x) x = bb.min.x;
+    benchmark::DoNotOptimize(
+        f.index.nearest_segment({x, (bb.min.y + bb.max.y) / 2}, 500.0));
+  }
+}
+BENCHMARK(BM_GridNearestSegment);
+
+void BM_FlowDistanceEval(benchmark::State& state) {
+  // The Phase 3 inner loop: one full four-Dijkstra Hausdorff evaluation.
+  const Fixture& f = Fixture::get();
+  const auto& flows = f.flow_result.flow_clusters;
+  if (flows.size() < 2) {
+    state.SkipWithError("not enough flows");
+    return;
+  }
+  RefineConfig cfg;
+  const Refiner refiner(f.net, cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t a = i % flows.size();
+    const std::size_t b = (i * 7 + 1) % flows.size();
+    ++i;
+    benchmark::DoNotOptimize(refiner.flow_distance(flows[a], flows[b]));
+  }
+}
+BENCHMARK(BM_FlowDistanceEval);
+
+void BM_ElbPrefilter(benchmark::State& state) {
+  // The O(1) Euclidean check that replaces the four Dijkstras when it fires.
+  const Fixture& f = Fixture::get();
+  const auto& flows = f.flow_result.flow_clusters;
+  if (flows.size() < 2) {
+    state.SkipWithError("not enough flows");
+    return;
+  }
+  RefineConfig cfg;
+  const Refiner refiner(f.net, cfg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t a = i % flows.size();
+    const std::size_t b = (i * 7 + 1) % flows.size();
+    ++i;
+    benchmark::DoNotOptimize(
+        refiner.min_euclidean_endpoint_distance(flows[a], flows[b]));
+  }
+}
+BENCHMARK(BM_ElbPrefilter);
+
+void BM_FragmentTrajectory(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const Fragmenter fragmenter(f.net);
+  std::size_t i = 0;
+  std::size_t points = 0;
+  for (auto _ : state) {
+    const traj::Trajectory& tr = f.data[i % f.data.size()];
+    ++i;
+    points += tr.size();
+    benchmark::DoNotOptimize(fragmenter.fragment(tr));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(points));
+}
+BENCHMARK(BM_FragmentTrajectory);
+
+void BM_TraclusSegmentDistance(benchmark::State& state) {
+  const Point si{0, 0};
+  const Point ei{120, 15};
+  const Point sj{10, 22};
+  const Point ej{140, 35};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(traclus::segment_distance(si, ei, sj, ej));
+  }
+}
+BENCHMARK(BM_TraclusSegmentDistance);
+
+void BM_AstarVsDijkstraRoute(benchmark::State& state) {
+  // state.range(0): 0 = Dijkstra, 1 = A*.
+  const Fixture& f = Fixture::get();
+  const auto far = NodeId(static_cast<std::int32_t>(f.net.node_count() - 1));
+  const bool use_astar = state.range(0) == 1;
+  for (auto _ : state) {
+    if (use_astar) {
+      benchmark::DoNotOptimize(
+          roadnet::astar_route(f.net, NodeId(0), far, roadnet::Metric::kDistance));
+    } else {
+      benchmark::DoNotOptimize(
+          roadnet::shortest_route(f.net, NodeId(0), far, roadnet::Metric::kDistance));
+    }
+  }
+}
+BENCHMARK(BM_AstarVsDijkstraRoute)->Arg(0)->Arg(1);
+
+void BM_LocationDistance(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  roadnet::NodeDistanceOracle oracle(f.net);
+  const auto n = static_cast<std::int32_t>(f.net.segment_count());
+  std::int32_t i = 0;
+  for (auto _ : state) {
+    const roadnet::NetworkLocation a{SegmentId(i % n), 30.0};
+    const roadnet::NetworkLocation b{SegmentId((i * 31 + 7) % n), 60.0};
+    ++i;
+    benchmark::DoNotOptimize(roadnet::location_distance(f.net, a, b, oracle));
+  }
+}
+BENCHMARK(BM_LocationDistance);
+
+void BM_Phase1Threads(benchmark::State& state) {
+  // Phase 1 scaling with worker threads (results are identical; see tests).
+  const Fixture& f = Fixture::get();
+  const Fragmenter fragmenter(f.net);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fragmenter.build_base_clusters(f.data, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.data.total_points()));
+}
+BENCHMARK(BM_Phase1Threads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Phase2FlowFormation(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const Fragmenter fragmenter(f.net);
+  const Phase1Output p1 = fragmenter.build_base_clusters(f.data);
+  FlowConfig cfg;
+  for (auto _ : state) {
+    const FlowBuilder builder(f.net, p1.base_clusters, cfg);
+    benchmark::DoNotOptimize(builder.build());
+  }
+}
+BENCHMARK(BM_Phase2FlowFormation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Location-based advertising (the paper's second motivating scenario, §I):
+// a store wants to place offers on mobile devices travelling the major
+// traffic flows that pass near it.
+//
+// The pipeline: simulate city traffic, run opt-NEAT, then for each of a few
+// candidate store sites report which flow clusters pass within walking
+// distance and how large the reachable audience is.
+//
+//   $ ./location_advertising
+#include <algorithm>
+#include <iostream>
+
+#include "core/clusterer.h"
+#include "core/netflow.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+
+using namespace neat;
+
+namespace {
+
+/// Distance from a point to the closest junction of a flow's representative
+/// route — "does this flow pass by the store?".
+double flow_pass_distance(const roadnet::RoadNetwork& net, const FlowCluster& flow,
+                          Point store) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const NodeId junction : flow.junctions) {
+    best = std::min(best, distance(net.node(junction).pos, store));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  roadnet::CityParams params;
+  params.rows = 28;
+  params.cols = 28;
+  params.spacing_m = 130.0;
+  params.seed = 11;
+  const roadnet::RoadNetwork net = roadnet::make_city(params);
+
+  const sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, sim_cfg);
+  const traj::TrajectoryDataset data = simulator.generate(400, 555);
+  std::cout << "simulated " << data.size() << " shopper trips\n";
+
+  Config config;
+  config.refine.epsilon = 1500.0;
+  const Result result = NeatClusterer(net, config).run(data);
+  std::cout << "opt-NEAT found " << result.flow_clusters.size() << " major flows in "
+            << result.timing.total_s() * 1000 << " ms\n\n";
+
+  // Candidate store sites: three spots spread over the city.
+  const roadnet::Bounds bb = net.bounding_box();
+  const auto site = [&](double fx, double fy) {
+    return Point{bb.min.x + fx * (bb.max.x - bb.min.x),
+                 bb.min.y + fy * (bb.max.y - bb.min.y)};
+  };
+  const std::vector<Point> candidates{site(0.5, 0.5), site(0.2, 0.6), site(0.85, 0.15)};
+  const double walking_distance = 250.0;  // metres
+
+  std::cout << "audience analysis (flows passing within " << walking_distance << " m):\n";
+  for (std::size_t s = 0; s < candidates.size(); ++s) {
+    const Point store = candidates[s];
+    std::vector<TrajectoryId> audience;
+    std::size_t flows_passing = 0;
+    for (const FlowCluster& f : result.flow_clusters) {
+      if (flow_pass_distance(net, f, store) <= walking_distance) {
+        ++flows_passing;
+        audience = merge_participants(audience, f.participants);
+      }
+    }
+    std::cout << "  site " << s + 1 << " at (" << store.x << ", " << store.y << "): "
+              << flows_passing << " flows pass by, reaching " << audience.size() << "/"
+              << data.size() << " travellers\n";
+  }
+
+  // The best site is the one reached by the most travellers — report it.
+  std::cout << "\nrecommendation: advertise along the corridor of the largest flow —\n";
+  const auto biggest = std::max_element(
+      result.flow_clusters.begin(), result.flow_clusters.end(),
+      [](const FlowCluster& a, const FlowCluster& b) {
+        return a.cardinality() < b.cardinality();
+      });
+  if (biggest != result.flow_clusters.end()) {
+    std::cout << "  " << biggest->route.size() << " segments, "
+              << biggest->route_length / 1000.0 << " km, " << biggest->cardinality()
+              << " travellers/day\n";
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Quickstart: build a small road network, create a handful of trajectories,
+// run the full three-phase NEAT clustering, and print every intermediate
+// artifact (base clusters, flow clusters, final clusters).
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/clusterer.h"
+#include "roadnet/builder.h"
+#include "traj/trajectory.h"
+
+using namespace neat;
+
+int main() {
+  // 1. A toy road network: a main east-west avenue of four segments with two
+  //    side streets hanging off its middle junctions.
+  //
+  //        n5            n6
+  //         |             |
+  //   n0 -- n1 -- n2 -- n3 -- n4
+  roadnet::RoadNetworkBuilder builder;
+  std::vector<NodeId> n;
+  n.push_back(builder.add_node({0, 0}));      // n0
+  n.push_back(builder.add_node({100, 0}));    // n1
+  n.push_back(builder.add_node({200, 0}));    // n2
+  n.push_back(builder.add_node({300, 0}));    // n3
+  n.push_back(builder.add_node({400, 0}));    // n4
+  n.push_back(builder.add_node({100, 100}));  // n5
+  n.push_back(builder.add_node({300, 100}));  // n6
+  builder.add_segment(n[0], n[1], 13.9);  // sid 0
+  builder.add_segment(n[1], n[2], 13.9);  // sid 1
+  builder.add_segment(n[2], n[3], 13.9);  // sid 2
+  builder.add_segment(n[3], n[4], 13.9);  // sid 3
+  builder.add_segment(n[1], n[5], 8.3);   // sid 4 (side street)
+  builder.add_segment(n[3], n[6], 8.3);   // sid 5 (side street)
+  const roadnet::RoadNetwork net = builder.build();
+  std::cout << "network: " << net.node_count() << " junctions, " << net.segment_count()
+            << " segments\n";
+
+  // 2. Five trips. Most traffic runs along the avenue; one trip turns off
+  //    onto a side street.
+  const auto trip = [&](std::int64_t id, std::vector<std::pair<SegmentId, Point>> samples) {
+    traj::Trajectory tr{TrajectoryId(id)};
+    double t = 0.0;
+    for (const auto& [sid, pos] : samples) {
+      tr.append(traj::Location{sid, pos, t, false});
+      t += 5.0;
+    }
+    return tr;
+  };
+  traj::TrajectoryDataset data;
+  for (std::int64_t id = 1; id <= 4; ++id) {
+    // Avenue end to end; samples at segment midpoints.
+    data.add(trip(id, {{SegmentId(0), {50, 0}},
+                       {SegmentId(1), {150, 0}},
+                       {SegmentId(2), {250, 0}},
+                       {SegmentId(3), {350, 0}}}));
+  }
+  data.add(trip(5, {{SegmentId(0), {50, 0}}, {SegmentId(4), {100, 50}}}));
+  std::cout << "dataset: " << data.size() << " trajectories, " << data.total_points()
+            << " points\n\n";
+
+  // 3. Run opt-NEAT (all three phases) with default parameters.
+  Config config;
+  config.refine.epsilon = 500.0;  // Phase 3 merge radius in network metres
+  const NeatClusterer clusterer(net, config);
+  const Result result = clusterer.run(data);
+
+  // 4. Inspect the output of every phase.
+  std::cout << "phase 1: " << result.num_fragments << " t-fragments in "
+            << result.base_clusters.size() << " base clusters\n";
+  for (const BaseCluster& c : result.base_clusters) {
+    std::cout << "  segment " << c.sid() << ": density " << c.density()
+              << ", cardinality " << c.cardinality() << '\n';
+  }
+
+  std::cout << "\nphase 2: " << result.flow_clusters.size() << " flow clusters (minCard "
+            << result.effective_min_card << "), " << result.filtered_flows.size()
+            << " filtered\n";
+  for (const FlowCluster& f : result.flow_clusters) {
+    std::cout << "  flow over segments [";
+    for (std::size_t i = 0; i < f.route.size(); ++i) {
+      std::cout << (i > 0 ? " " : "") << f.route[i];
+    }
+    std::cout << "], route length " << f.route_length << " m, " << f.cardinality()
+              << " trajectories\n";
+  }
+
+  std::cout << "\nphase 3: " << result.final_clusters.size() << " final clusters\n";
+  for (std::size_t i = 0; i < result.final_clusters.size(); ++i) {
+    const FinalCluster& c = result.final_clusters[i];
+    std::cout << "  cluster " << i << ": " << c.flows.size() << " flows, total route "
+              << c.total_route_length << " m, " << c.cardinality() << " trajectories\n";
+  }
+
+  std::cout << "\ntimings: phase1 " << result.timing.phase1_s * 1000 << " ms, phase2 "
+            << result.timing.phase2_s * 1000 << " ms, phase3 "
+            << result.timing.phase3_s * 1000 << " ms\n";
+  return 0;
+}

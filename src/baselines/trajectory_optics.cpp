@@ -1,0 +1,178 @@
+#include "baselines/trajectory_optics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.h"
+#include "common/geometry.h"
+
+namespace neat::baselines {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Position of a trajectory at absolute time `t` (clamped linear
+/// interpolation between samples).
+Point position_at_time(const traj::Trajectory& tr, double t) {
+  if (t <= tr.front().t) return tr.front().pos;
+  if (t >= tr.back().t) return tr.back().pos;
+  // Binary search for the sample interval containing t.
+  std::size_t lo = 0;
+  std::size_t hi = tr.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (tr.point(mid).t <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const traj::Location& a = tr.point(lo);
+  const traj::Location& b = tr.point(hi);
+  const double span = b.t - a.t;
+  const double frac = span > 0.0 ? (t - a.t) / span : 0.0;
+  return lerp(a.pos, b.pos, frac);
+}
+
+/// Position at arc-progress `frac` in [0, 1] of the trajectory's duration.
+Point position_at_progress(const traj::Trajectory& tr, double frac) {
+  return position_at_time(tr, tr.front().t + frac * tr.duration());
+}
+
+}  // namespace
+
+double trajectory_distance(const traj::Trajectory& a, const traj::Trajectory& b,
+                           const OpticsConfig& config) {
+  NEAT_EXPECT(config.sample_points >= 2, "OpticsConfig: need at least 2 sample points");
+  NEAT_EXPECT(!a.empty() && !b.empty(), "trajectory_distance: empty trajectory");
+  const std::size_t k = config.sample_points;
+  double sum = 0.0;
+  if (config.align == AlignMode::kAbsoluteTime) {
+    const double lo = std::max(a.front().t, b.front().t);
+    const double hi = std::min(a.back().t, b.back().t);
+    if (lo > hi) return kInf;  // no temporal overlap
+    for (std::size_t i = 0; i < k; ++i) {
+      const double t = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(k - 1);
+      sum += distance(position_at_time(a, t), position_at_time(b, t));
+    }
+  } else {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double frac = static_cast<double>(i) / static_cast<double>(k - 1);
+      sum += distance(position_at_progress(a, frac), position_at_progress(b, frac));
+    }
+  }
+  return sum / static_cast<double>(k);
+}
+
+OpticsResult run_trajectory_optics(const traj::TrajectoryDataset& data,
+                                   const OpticsConfig& config) {
+  NEAT_EXPECT(config.eps > 0.0, "OpticsConfig: eps must be positive");
+  NEAT_EXPECT(config.min_pts >= 1, "OpticsConfig: min_pts must be at least 1");
+  NEAT_EXPECT(config.sample_points >= 2, "OpticsConfig: need at least 2 sample points");
+
+  OpticsResult res;
+  const std::size_t n = data.size();
+  if (n == 0) return res;
+
+  // Pairwise distances are cached: OPTICS revisits neighbourhoods.
+  std::vector<double> dist_cache(n * n, -1.0);
+  const auto pair_distance = [&](std::size_t i, std::size_t j) {
+    if (i == j) return 0.0;
+    double& slot = dist_cache[std::min(i, j) * n + std::max(i, j)];
+    if (slot < 0.0) {
+      slot = trajectory_distance(data[i], data[j], config);
+      ++res.distance_computations;
+    }
+    return slot;
+  };
+
+  // Eps-neighbourhood (including self), plus the core distance (min_pts-th
+  // smallest neighbour distance, or infinity when not core).
+  const auto neighborhood = [&](std::size_t i, std::vector<std::size_t>& out) {
+    out.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (pair_distance(i, j) <= config.eps) out.push_back(j);
+    }
+  };
+  const auto core_distance = [&](std::size_t i, const std::vector<std::size_t>& hood) {
+    if (hood.size() < static_cast<std::size_t>(config.min_pts)) return kInf;
+    std::vector<double> ds;
+    ds.reserve(hood.size());
+    for (const std::size_t j : hood) ds.push_back(pair_distance(i, j));
+    std::nth_element(ds.begin(), ds.begin() + (config.min_pts - 1), ds.end());
+    return ds[static_cast<std::size_t>(config.min_pts - 1)];
+  };
+
+  // OPTICS main loop (Ankerst et al., Figure 5): expand each unprocessed
+  // point; the seed list is a min-heap on reachability with lazy deletion.
+  std::vector<bool> processed(n, false);
+  std::vector<double> reach(n, kInf);
+  using Entry = std::pair<double, std::size_t>;
+  std::vector<std::size_t> hood;
+
+  const auto update_seeds = [&](std::size_t center, double core_d,
+                                std::priority_queue<Entry, std::vector<Entry>,
+                                                    std::greater<>>& seeds) {
+    for (const std::size_t j : hood) {
+      if (processed[j]) continue;
+      const double new_reach = std::max(core_d, pair_distance(center, j));
+      if (new_reach < reach[j]) {
+        reach[j] = new_reach;
+        seeds.emplace(new_reach, j);
+      }
+    }
+  };
+
+  for (std::size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    processed[start] = true;
+    neighborhood(start, hood);
+    res.ordering.push_back(start);
+    res.reachability.push_back(kInf);
+    double core_d = core_distance(start, hood);
+    if (core_d <= config.eps) {
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> seeds;
+      update_seeds(start, core_d, seeds);
+      while (!seeds.empty()) {
+        const auto [r, cur] = seeds.top();
+        seeds.pop();
+        if (processed[cur] || r > reach[cur]) continue;  // stale entry
+        processed[cur] = true;
+        neighborhood(cur, hood);
+        res.ordering.push_back(cur);
+        res.reachability.push_back(reach[cur]);
+        core_d = core_distance(cur, hood);
+        if (core_d <= config.eps) update_seeds(cur, core_d, seeds);
+      }
+    }
+  }
+
+  // Flat clustering: cut the reachability plot at extract_eps.
+  const double cut = config.extract_eps > 0.0 ? config.extract_eps : config.eps;
+  res.labels.assign(n, -1);
+  int cluster = -1;
+  bool open = false;
+  for (std::size_t k = 0; k < res.ordering.size(); ++k) {
+    if (res.reachability[k] > cut) {
+      open = false;  // a new group may start at the next low-reach point
+      continue;
+    }
+    if (!open) {
+      ++cluster;
+      open = true;
+      // The point that *preceded* this valley seeded it; give it the label
+      // too when it is still unlabelled (standard ExtractDBSCAN behaviour).
+      if (k > 0 && res.labels[res.ordering[k - 1]] == -1) {
+        res.labels[res.ordering[k - 1]] = cluster;
+      }
+    }
+    res.labels[res.ordering[k]] = cluster;
+  }
+  res.num_clusters = static_cast<std::size_t>(cluster + 1);
+  return res;
+}
+
+}  // namespace neat::baselines

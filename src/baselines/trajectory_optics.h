@@ -1,0 +1,66 @@
+// Trajectory-OPTICS — whole-trajectory density clustering (Nanni &
+// Pedreschi, "Time-focused clustering of trajectories of moving objects",
+// J. Intell. Inf. Syst. 2006 — the paper's reference [24]).
+//
+// The paper positions this family as the representative approach for
+// clustering trajectories *as a whole*: the distance between two
+// trajectories is the average Euclidean distance between the two objects
+// over time, and OPTICS (Ankerst et al., SIGMOD'99) orders the trajectories
+// by density reachability. NEAT's §I argues whole-trajectory clustering
+// cannot find shared sub-routes; this implementation exists so that claim
+// is testable against a faithful baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "traj/dataset.h"
+
+namespace neat::baselines {
+
+/// How two trajectories are aligned before averaging point distances.
+enum class AlignMode {
+  /// Sample both trajectories at common absolute timestamps across the
+  /// overlap of their time spans ([24]'s time-focused distance). Pairs with
+  /// no temporal overlap are infinitely far apart.
+  kAbsoluteTime,
+  /// Sample both at equal fractions of their own durations — a
+  /// shape-focused variant that ignores departure-time offsets.
+  kRelativeProgress,
+};
+
+/// OPTICS parameters.
+struct OpticsConfig {
+  double eps{1000.0};          ///< Generating distance (metres).
+  int min_pts{5};              ///< Core condition (neighbours incl. self).
+  std::size_t sample_points{32};  ///< Alignment samples per trajectory pair.
+  AlignMode align{AlignMode::kRelativeProgress};
+  /// Extraction threshold for the flat clustering read off the reachability
+  /// plot; non-positive means "use eps".
+  double extract_eps{-1.0};
+};
+
+/// OPTICS output: the cluster ordering, the reachability plot, and a flat
+/// DBSCAN-equivalent clustering extracted at `extract_eps`.
+struct OpticsResult {
+  std::vector<std::size_t> ordering;   ///< Trajectory indices in OPTICS order.
+  std::vector<double> reachability;    ///< Reachability per ordering position
+                                       ///< (infinity starts a new group).
+  std::vector<int> labels;             ///< Cluster id per trajectory; -1 noise.
+  std::size_t num_clusters{0};
+  std::size_t distance_computations{0};
+};
+
+/// Average aligned Euclidean distance between two trajectories (exposed for
+/// tests). Returns infinity for kAbsoluteTime pairs without overlap.
+[[nodiscard]] double trajectory_distance(const traj::Trajectory& a,
+                                         const traj::Trajectory& b,
+                                         const OpticsConfig& config);
+
+/// Runs Trajectory-OPTICS over the dataset. Deterministic (seeds unprocessed
+/// trajectories in index order). Throws neat::PreconditionError on invalid
+/// parameters.
+[[nodiscard]] OpticsResult run_trajectory_optics(const traj::TrajectoryDataset& data,
+                                                 const OpticsConfig& config);
+
+}  // namespace neat::baselines

@@ -1,0 +1,71 @@
+#include "common/csv.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace neat {
+
+std::string csv_escape(const std::string& field, char sep) {
+  const bool needs_quotes =
+      field.find_first_of(std::string{sep} + "\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << sep_;
+    out_ << csv_escape(fields[i], sep_);
+  }
+  out_ << '\n';
+}
+
+bool CsvReader::read_row(std::vector<std::string>& fields) {
+  fields.clear();
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  char c = 0;
+  while (in_.get(c)) {
+    saw_any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          in_.get(c);
+          field += '"';
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) throw ParseError("quote in the middle of an unquoted CSV field");
+      in_quotes = true;
+    } else if (c == sep_) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      fields.push_back(std::move(field));
+      return true;
+    } else if (c == '\r') {
+      // Swallow; handled by the following '\n' if present.
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) throw ParseError("unterminated quoted CSV field");
+  if (!saw_any) return false;
+  fields.push_back(std::move(field));
+  return true;
+}
+
+}  // namespace neat

@@ -1,0 +1,42 @@
+// Minimal CSV reading/writing used for network, trajectory, and result
+// persistence. Handles RFC-4180-style quoting for fields containing the
+// separator, quotes, or newlines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace neat {
+
+/// Writes rows of fields as CSV to an std::ostream the writer does not own.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  /// Writes one row; fields are quoted only when necessary.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+/// Reads CSV rows from an std::istream the reader does not own.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in, char sep = ',') : in_(in), sep_(sep) {}
+
+  /// Reads the next row into `fields`; returns false at end of input.
+  /// Throws neat::ParseError on malformed quoting.
+  bool read_row(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+  char sep_;
+};
+
+/// Quotes a single field if needed (exposed for testing).
+[[nodiscard]] std::string csv_escape(const std::string& field, char sep = ',');
+
+}  // namespace neat

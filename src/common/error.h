@@ -1,0 +1,54 @@
+// Error types and precondition checking for the NEAT libraries.
+//
+// Per project policy, violated API contracts and malformed inputs raise
+// exceptions (never abort); all exceptions derive from neat::Error so callers
+// can catch library failures with a single handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace neat {
+
+/// Base class of every exception thrown by the NEAT libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when persisted data (CSV files, …) cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an id does not refer to an existing entity.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition `" + expr + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace neat
+
+/// Checks a documented precondition; throws neat::PreconditionError on
+/// failure. Always on — contract violations must never pass silently.
+#define NEAT_EXPECT(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) ::neat::detail::fail_precondition(#cond, __FILE__, __LINE__, \
+                                                   (msg));                  \
+  } while (false)

@@ -1,0 +1,61 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace neat {
+
+Projection project_onto_segment(Point p, Point a, Point b) {
+  const Point ab = b - a;
+  const double len_sq = norm_sq(ab);
+  Projection out;
+  if (len_sq == 0.0) {
+    out.closest = a;
+    out.t = 0.0;
+  } else {
+    out.t = std::clamp(dot(p - a, ab) / len_sq, 0.0, 1.0);
+    out.closest = lerp(a, b, out.t);
+  }
+  out.dist = distance(p, out.closest);
+  return out;
+}
+
+double point_segment_distance(Point p, Point a, Point b) {
+  return project_onto_segment(p, a, b).dist;
+}
+
+double polyline_length(const std::vector<Point>& pts) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) total += distance(pts[i - 1], pts[i]);
+  return total;
+}
+
+Point point_along_polyline(const std::vector<Point>& pts, double s) {
+  NEAT_EXPECT(!pts.empty(), "polyline must have at least one point");
+  if (s <= 0.0) return pts.front();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double leg = distance(pts[i - 1], pts[i]);
+    if (s <= leg) {
+      const double t = leg == 0.0 ? 0.0 : s / leg;
+      return lerp(pts[i - 1], pts[i], t);
+    }
+    s -= leg;
+  }
+  return pts.back();
+}
+
+double heading(Point a, Point b) { return std::atan2(b.y - a.y, b.x - a.x); }
+
+double angle_difference(double a, double b) {
+  double d = std::fabs(a - b);
+  while (d > 2 * M_PI) d -= 2 * M_PI;
+  return std::min(d, 2 * M_PI - d);
+}
+
+std::ostream& operator<<(std::ostream& os, Point p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+}  // namespace neat

@@ -1,0 +1,79 @@
+// Planar geometry primitives.
+//
+// All road-network geometry lives in a local planar (x, y) coordinate frame
+// measured in metres, so Euclidean distance is the physical straight-line
+// distance — this is what makes the Euclidean-lower-bound (ELB) pruning of
+// NEAT Phase 3 sound.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <vector>
+
+namespace neat {
+
+/// A point (or free vector) in the planar metre frame.
+struct Point {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Point operator*(Point a, double s) { return {a.x * s, a.y * s}; }
+  friend constexpr Point operator*(double s, Point a) { return a * s; }
+  friend constexpr bool operator==(Point a, Point b) = default;
+};
+
+/// Dot product of two vectors.
+[[nodiscard]] constexpr double dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// Z component of the cross product (signed parallelogram area).
+[[nodiscard]] constexpr double cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean norm.
+[[nodiscard]] constexpr double norm_sq(Point a) { return dot(a, a); }
+
+/// Euclidean norm.
+[[nodiscard]] inline double norm(Point a) { return std::sqrt(norm_sq(a)); }
+
+/// Squared Euclidean distance between two points.
+[[nodiscard]] constexpr double distance_sq(Point a, Point b) { return norm_sq(a - b); }
+
+/// Euclidean distance between two points.
+[[nodiscard]] inline double distance(Point a, Point b) { return norm(a - b); }
+
+/// Linear interpolation between `a` (t = 0) and `b` (t = 1).
+[[nodiscard]] constexpr Point lerp(Point a, Point b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Result of projecting a point onto a line segment.
+struct Projection {
+  Point closest;    ///< Closest point on the segment.
+  double t{0.0};    ///< Parameter in [0, 1] along the segment (a -> b).
+  double dist{0.0}; ///< Euclidean distance from the query point.
+};
+
+/// Projects `p` onto segment [a, b], clamping to the segment extent.
+/// Degenerate segments (a == b) project everything onto `a`.
+[[nodiscard]] Projection project_onto_segment(Point p, Point a, Point b);
+
+/// Distance from point `p` to segment [a, b].
+[[nodiscard]] double point_segment_distance(Point p, Point a, Point b);
+
+/// Total length of a polyline (0 for fewer than two points).
+[[nodiscard]] double polyline_length(const std::vector<Point>& pts);
+
+/// Point at arc-length `s` along the polyline, clamped to its extent.
+/// Requires at least one point.
+[[nodiscard]] Point point_along_polyline(const std::vector<Point>& pts, double s);
+
+/// Angle of the direction vector from `a` to `b`, in radians in (-pi, pi].
+[[nodiscard]] double heading(Point a, Point b);
+
+/// Smallest absolute difference between two angles, in [0, pi].
+[[nodiscard]] double angle_difference(double a, double b);
+
+std::ostream& operator<<(std::ostream& os, Point p);
+
+}  // namespace neat

@@ -1,0 +1,68 @@
+// Strongly typed identifiers used across the NEAT libraries.
+//
+// Every entity in the system (junction node, directed edge, road segment,
+// trajectory) is referenced by a dense integer id. Mixing them up is a silent
+// and catastrophic bug class, so each gets its own distinct type: an `Id<Tag>`
+// is convertible from/to its underlying integer only explicitly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace neat {
+
+/// A strongly typed integer id. `Tag` distinguishes id spaces; `Rep` is the
+/// underlying representation. Value -1 is reserved as "invalid".
+template <class Tag, class Rep = std::int32_t>
+class Id {
+ public:
+  using rep_type = Rep;
+
+  constexpr Id() = default;
+  constexpr explicit Id(Rep value) : value_(value) {}
+
+  /// Underlying integer value; also usable as a dense array index.
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  /// True when this id refers to an actual entity.
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  constexpr auto operator<=>(const Id&) const = default;
+
+  /// Sentinel id that refers to no entity.
+  [[nodiscard]] static constexpr Id invalid() { return Id(Rep{-1}); }
+
+ private:
+  Rep value_{-1};
+};
+
+struct NodeTag {};
+struct EdgeTag {};
+struct SegmentTag {};
+struct TrajectoryTag {};
+
+/// Identifier of a road junction (graph node).
+using NodeId = Id<NodeTag>;
+/// Identifier of a directed edge (one travel direction of a road segment).
+using EdgeId = Id<EdgeTag>;
+/// Identifier of a road segment (shared by both directions when bidirectional).
+using SegmentId = Id<SegmentTag>;
+/// Identifier of a mobile-object trajectory.
+using TrajectoryId = Id<TrajectoryTag, std::int64_t>;
+
+template <class Tag, class Rep>
+std::ostream& operator<<(std::ostream& os, Id<Tag, Rep> id) {
+  if (!id.valid()) return os << "<invalid>";
+  return os << id.value();
+}
+
+}  // namespace neat
+
+template <class Tag, class Rep>
+struct std::hash<neat::Id<Tag, Rep>> {
+  std::size_t operator()(neat::Id<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

@@ -1,0 +1,52 @@
+// Base clusters (paper Definitions 2–4).
+//
+// A base cluster groups all t-fragments that lie on one road segment: the
+// locally dense unit of NEAT. Its *density* is the number of t-fragments
+// (Definition 4); its *trajectory cardinality* is the number of distinct
+// participating trajectories (Definition 3). The densest base cluster of a
+// set is the dense-core, where Phase 2 starts.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "core/fragment.h"
+
+namespace neat {
+
+/// All t-fragments associated with one road segment (Definition 2).
+class BaseCluster {
+ public:
+  BaseCluster() = default;
+  explicit BaseCluster(SegmentId sid) : sid_(sid) {}
+
+  /// The representative road segment e_S.
+  [[nodiscard]] SegmentId sid() const { return sid_; }
+
+  /// Adds a t-fragment; it must lie on this cluster's segment.
+  void add(const TFragment& fragment);
+
+  /// Sorts and deduplicates the participant list. Must be called after the
+  /// last add() and before participants()/cardinality()/netflow use.
+  void finalize();
+
+  /// Cluster density d(S): the number of t-fragments (Definition 4).
+  [[nodiscard]] int density() const { return static_cast<int>(fragments_.size()); }
+
+  /// Distinct participating trajectories PTr(S), ascending (Definition 3).
+  /// Requires finalize().
+  [[nodiscard]] const std::vector<TrajectoryId>& participants() const;
+
+  /// Trajectory cardinality |PTr(S)|. Requires finalize().
+  [[nodiscard]] int cardinality() const;
+
+  [[nodiscard]] const std::vector<TFragment>& fragments() const { return fragments_; }
+
+ private:
+  SegmentId sid_;
+  std::vector<TFragment> fragments_;
+  std::vector<TrajectoryId> participants_;
+  bool finalized_{false};
+};
+
+}  // namespace neat

@@ -1,0 +1,51 @@
+#include "core/clusterer.h"
+
+#include "common/stopwatch.h"
+
+namespace neat {
+
+NeatClusterer::NeatClusterer(const roadnet::RoadNetwork& net, Config config)
+    : net_(net), config_(config) {
+  // Validate both sub-configs now rather than at run() time: constructing
+  // the phase objects performs their precondition checks.
+  const std::vector<BaseCluster> empty;
+  (void)FlowBuilder(net_, empty, config_.flow);
+  (void)Refiner(net_, config_.refine);
+}
+
+Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
+  Result result;
+  Stopwatch watch;
+
+  // Phase 1: base cluster formation.
+  const Fragmenter fragmenter(net_);
+  Phase1Output p1 = fragmenter.build_base_clusters(data, config_.phase1_threads);
+  result.base_clusters = std::move(p1.base_clusters);
+  result.num_fragments = p1.num_fragments;
+  result.num_gap_repairs = p1.num_gap_repairs;
+  result.timing.phase1_s = watch.elapsed_seconds();
+  if (config_.mode == Mode::kBase) return result;
+
+  // Phase 2: flow cluster formation.
+  watch.restart();
+  const FlowBuilder builder(net_, result.base_clusters, config_.flow);
+  Phase2Output p2 = builder.build();
+  result.flow_clusters = std::move(p2.flows);
+  result.filtered_flows = std::move(p2.filtered_flows);
+  result.effective_min_card = p2.effective_min_card;
+  result.timing.phase2_s = watch.elapsed_seconds();
+  if (config_.mode == Mode::kFlow) return result;
+
+  // Phase 3: flow cluster refinement.
+  watch.restart();
+  const Refiner refiner(net_, config_.refine);
+  Phase3Output p3 = refiner.refine(result.flow_clusters);
+  result.final_clusters = std::move(p3.clusters);
+  result.sp_computations = p3.sp_computations;
+  result.elb_pruned_pairs = p3.elb_pruned_pairs;
+  result.pairs_evaluated = p3.pairs_evaluated;
+  result.timing.phase3_s = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace neat

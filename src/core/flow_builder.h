@@ -1,0 +1,85 @@
+// NEAT Phase 2 — flow cluster formation (paper §III-B).
+//
+// Starting from the dense-core (the densest unmerged base cluster), a flow
+// cluster is grown at both ends of its route. At each end, the candidate set
+// is the f-neighborhood at that endpoint (adjacent segments whose base
+// clusters share at least one trajectory, Definition 6). The winner is the
+// candidate with the highest *merging selectivity* SF = wq·q + wk·k + wv·v
+// (Definitions 9–10). Before selection, the β-domination rule removes
+// f-neighbor pairs whose mutual netflow dominates the candidate maxFlow —
+// those two belong to a different major flow (§III-B.2). Flows whose
+// trajectory cardinality falls below minCard are filtered out.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/base_cluster.h"
+#include "core/flow_cluster.h"
+#include "roadnet/road_network.h"
+
+namespace neat {
+
+/// Parameters of Phase 2.
+struct FlowConfig {
+  double wq{1.0};  ///< Weight of the flow factor q (Definition 9, Eq. 1).
+  double wk{0.0};  ///< Weight of the density factor k (Eq. 2).
+  double wv{0.0};  ///< Weight of the speed-limit factor v (Eq. 3).
+  /// Domination threshold β: f1 dominates f2 iff f1, f2 > 0 and f1/f2 >= β.
+  /// +infinity disables domination handling (pure maxFlow-neighbor merging).
+  double beta{std::numeric_limits<double>::infinity()};
+  /// Minimum trajectory cardinality of a kept flow cluster. Negative: use
+  /// the dataset-adaptive default — the average cardinality over all flows,
+  /// which is exactly the paper's choice for Figure 3 ("minCard=5, which is
+  /// the average number of participating trajectories").
+  double min_card{-1.0};
+};
+
+/// Result of Phase 2.
+struct Phase2Output {
+  std::vector<FlowCluster> flows;           ///< Kept flows (cardinality >= minCard).
+  std::vector<FlowCluster> filtered_flows;  ///< Flows removed by the minCard filter.
+  double effective_min_card{0.0};           ///< The threshold actually applied.
+};
+
+/// Merging-selectivity factors of one candidate (exposed for tests).
+struct SelectivityFactors {
+  double q{0.0};
+  double k{0.0};
+  double v{0.0};
+
+  [[nodiscard]] double sf(const FlowConfig& cfg) const {
+    return cfg.wq * q + cfg.wk * k + cfg.wv * v;
+  }
+};
+
+/// Computes Definition 9's (q, k, v) for candidate `candidate` against end
+/// cluster `end_cluster`, where `neighborhood` is the (post-domination)
+/// f-neighborhood of the end cluster at the expansion endpoint.
+[[nodiscard]] SelectivityFactors selectivity_factors(
+    const roadnet::RoadNetwork& net, const BaseCluster& end_cluster,
+    const BaseCluster& candidate, const std::vector<const BaseCluster*>& neighborhood);
+
+/// Builds flow clusters from the Phase 1 base clusters. The input vector
+/// must be sorted by (density desc, sid asc) — Phase 1's output order — so
+/// the merge order is deterministic (paper §III-B.1).
+class FlowBuilder {
+ public:
+  /// Keeps references to the network and the base clusters; both must
+  /// outlive the builder. Throws neat::PreconditionError on invalid weights
+  /// (negative, or summing to zero) or β < 1.
+  FlowBuilder(const roadnet::RoadNetwork& net, const std::vector<BaseCluster>& base_clusters,
+              FlowConfig config);
+
+  /// Runs Phase 2. Every base cluster ends up in exactly one flow (kept or
+  /// filtered).
+  [[nodiscard]] Phase2Output build() const;
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  const std::vector<BaseCluster>& base_;
+  FlowConfig config_;
+};
+
+}  // namespace neat

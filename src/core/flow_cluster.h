@@ -1,0 +1,39 @@
+// Flow clusters (paper Definition 8).
+//
+// A flow cluster is an ordered list of base clusters whose representative
+// road segments concatenate into a route — a dense *and continuous* traffic
+// stream. Phase 2 produces them; Phase 3 merges nearby ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace neat {
+
+/// An ordered chain of base clusters forming a route (Definition 8).
+struct FlowCluster {
+  /// Indices into the Phase 1 base-cluster vector, in route order.
+  std::vector<std::size_t> members;
+  /// The representative route r_F: one segment per member, in route order.
+  std::vector<SegmentId> route;
+  /// Junction sequence of the route: route.size() + 1 nodes. front() and
+  /// back() are the flow's endpoints used by the Phase 3 distance.
+  std::vector<NodeId> junctions;
+  /// Distinct participating trajectories, ascending.
+  std::vector<TrajectoryId> participants;
+  /// Total length of the representative route in metres.
+  double route_length{0.0};
+
+  /// Trajectory cardinality |PTr(F)| (Definition 3 applied to flows).
+  [[nodiscard]] int cardinality() const { return static_cast<int>(participants.size()); }
+
+  /// First endpoint junction of the representative route.
+  [[nodiscard]] NodeId start_junction() const { return junctions.front(); }
+
+  /// Last endpoint junction of the representative route.
+  [[nodiscard]] NodeId end_junction() const { return junctions.back(); }
+};
+
+}  // namespace neat

@@ -1,0 +1,287 @@
+#include "core/fragmenter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "roadnet/shortest_path.h"
+
+namespace neat {
+
+namespace {
+
+using roadnet::RoadNetwork;
+
+/// The junction shared by two adjacent segments that the object most
+/// plausibly crossed: the one minimizing detour between the two observed
+/// positions. Ties break toward the smaller node id (determinism).
+NodeId crossing_junction(const RoadNetwork& net, SegmentId from, SegmentId to,
+                         Point from_pos, Point to_pos) {
+  const roadnet::Segment& a = net.segment(from);
+  const roadnet::Segment& b = net.segment(to);
+  NodeId best = NodeId::invalid();
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const NodeId u : {a.a, a.b}) {
+    if (u != b.a && u != b.b) continue;
+    const Point up = net.node(u).pos;
+    const double cost = distance(from_pos, up) + distance(up, to_pos);
+    if (cost < best_cost - 1e-12 || (cost < best_cost + 1e-12 && (!best.valid() || u < best))) {
+      best_cost = cost;
+      best = u;
+    }
+  }
+  return best;
+}
+
+/// A repaired gap between two non-contiguous samples: the junction sequence
+/// (exit endpoint of the old segment … entry endpoint of the new one) plus
+/// the intermediate segments between consecutive junctions.
+struct GapRepair {
+  std::vector<NodeId> junctions;       ///< At least {u, v}.
+  std::vector<SegmentId> between;      ///< junctions.size() - 1 segments.
+};
+
+std::optional<SegmentId> segment_between(const RoadNetwork& net, NodeId a, NodeId b) {
+  SegmentId best = SegmentId::invalid();
+  for (const SegmentId sid : net.segments_at(a)) {
+    if (net.other_endpoint(sid, a) == b && (!best.valid() || sid < best)) best = sid;
+  }
+  if (!best.valid()) return std::nullopt;
+  return best;
+}
+
+std::optional<GapRepair> repair_gap(const RoadNetwork& net, SegmentId from, SegmentId to,
+                                    Point from_pos, Point to_pos) {
+  const roadnet::Segment& a = net.segment(from);
+  const roadnet::Segment& b = net.segment(to);
+
+  // Try the four exit/entry endpoint combinations with a bounded directed
+  // search; the travelled detour between two consecutive samples is short.
+  std::optional<GapRepair> best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const NodeId u : {a.a, a.b}) {
+    for (const NodeId v : {b.a, b.b}) {
+      if (u == v) continue;  // would mean the segments are adjacent
+      const double crowfly = distance(net.node(u).pos, net.node(v).pos);
+      const double bound = 4.0 * crowfly + 2000.0;
+      const auto route = roadnet::shortest_route(net, u, v, roadnet::Metric::kDistance, bound);
+      if (!route) continue;
+      const double cost =
+          distance(from_pos, net.node(u).pos) + route->length + distance(net.node(v).pos, to_pos);
+      if (cost < best_cost) {
+        best_cost = cost;
+        GapRepair repair;
+        repair.junctions = route->node_path(net);
+        repair.between.clear();
+        for (const EdgeId eid : route->edges) repair.between.push_back(net.edge(eid).sid);
+        best = std::move(repair);
+      }
+    }
+  }
+  if (best) return best;
+
+  // Fallback: undirected, unbounded — covers data recorded against one-way
+  // restrictions or very long outages.
+  NodeId bu = NodeId::invalid();
+  NodeId bv = NodeId::invalid();
+  double approach_best = std::numeric_limits<double>::infinity();
+  for (const NodeId u : {a.a, a.b}) {
+    for (const NodeId v : {b.a, b.b}) {
+      if (u == v) continue;
+      const double c = distance(from_pos, net.node(u).pos) +
+                       distance(net.node(v).pos, to_pos);
+      if (c < approach_best) {
+        approach_best = c;
+        bu = u;
+        bv = v;
+      }
+    }
+  }
+  if (!bu.valid()) return std::nullopt;
+  const auto nodes = roadnet::shortest_node_path(net, bu, bv);
+  if (!nodes) return std::nullopt;
+  GapRepair repair;
+  repair.junctions = *nodes;
+  for (std::size_t i = 1; i < nodes->size(); ++i) {
+    const auto sid = segment_between(net, (*nodes)[i - 1], (*nodes)[i]);
+    if (!sid) return std::nullopt;
+    repair.between.push_back(*sid);
+  }
+  return repair;
+}
+
+/// Shared Phase 1 walk. Emits fragments into `fragments` (if non-null) and
+/// the augmented point sequence into `augmented` (if non-null).
+void walk(const RoadNetwork& net, const traj::Trajectory& tr,
+          std::vector<TFragment>* fragments, traj::Trajectory* augmented,
+          std::size_t* gap_repairs) {
+  if (tr.empty()) return;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    static_cast<void>(net.segment(tr.point(i).sid));  // validates every referenced segment
+  }
+
+  TFragment cur;
+  cur.trid = tr.id();
+  cur.sid = tr.front().sid;
+  cur.entry = tr.front();
+  cur.exit = tr.front();
+  cur.num_samples = 1;
+  if (augmented != nullptr) augmented->append(tr.front());
+
+  const auto close_and_reopen = [&](const traj::Location& boundary, SegmentId next_sid) {
+    // `boundary` is a junction point: it ends the current fragment and
+    // starts the next one (on `next_sid`).
+    traj::Location exit_loc = boundary;
+    exit_loc.sid = cur.sid;
+    cur.exit = exit_loc;
+    if (fragments != nullptr) fragments->push_back(cur);
+    traj::Location entry_loc = boundary;
+    entry_loc.sid = next_sid;
+    cur = TFragment{};
+    cur.trid = tr.id();
+    cur.sid = next_sid;
+    cur.entry = entry_loc;
+    cur.exit = entry_loc;
+    cur.num_samples = 0;
+    if (augmented != nullptr) augmented->append(entry_loc);
+  };
+
+  for (std::size_t i = 1; i < tr.size(); ++i) {
+    const traj::Location& p = tr.point(i);
+    if (p.sid == cur.sid) {
+      cur.exit = p;
+      ++cur.num_samples;
+      if (augmented != nullptr) augmented->append(p);
+      continue;
+    }
+
+    const double t_prev = cur.exit.t;
+    const NodeId shared = crossing_junction(net, cur.sid, p.sid, cur.exit.pos, p.pos);
+    if (shared.valid()) {
+      // Contiguous segments: insert the crossing junction (paper §III-A.1).
+      const Point jp = net.node(shared).pos;
+      const double d0 = distance(cur.exit.pos, jp);
+      const double d1 = distance(jp, p.pos);
+      const double frac = (d0 + d1) > 0.0 ? d0 / (d0 + d1) : 0.0;
+      const double jt = t_prev + (p.t - t_prev) * frac;
+      close_and_reopen(traj::Location{cur.sid, jp, jt, true}, p.sid);
+    } else {
+      // Non-contiguous: recover the junction sequence along the travel path.
+      const auto repair = repair_gap(net, cur.sid, p.sid, cur.exit.pos, p.pos);
+      if (repair && !repair->junctions.empty()) {
+        if (gap_repairs != nullptr) ++(*gap_repairs);
+        // Distance-proportional timestamps over exit -> u -> … -> v -> p.
+        std::vector<double> cum;
+        cum.reserve(repair->junctions.size() + 1);
+        double run = distance(cur.exit.pos, net.node(repair->junctions.front()).pos);
+        cum.push_back(run);
+        for (std::size_t k = 1; k < repair->junctions.size(); ++k) {
+          run += net.segment_length(repair->between[k - 1]);
+          cum.push_back(run);
+        }
+        const double total =
+            run + distance(net.node(repair->junctions.back()).pos, p.pos);
+        const auto time_at = [&](double d) {
+          return total > 0.0 ? t_prev + (p.t - t_prev) * (d / total) : t_prev;
+        };
+        for (std::size_t k = 0; k < repair->junctions.size(); ++k) {
+          const SegmentId next_sid =
+              (k < repair->between.size()) ? repair->between[k] : p.sid;
+          close_and_reopen(traj::Location{cur.sid, net.node(repair->junctions[k]).pos,
+                                          time_at(cum[k]), true},
+                           next_sid);
+        }
+      } else {
+        // Unrepairable (different components): break the trajectory here.
+        if (fragments != nullptr) fragments->push_back(cur);
+        cur = TFragment{};
+        cur.trid = tr.id();
+        cur.sid = p.sid;
+        cur.entry = p;
+        cur.num_samples = 0;
+      }
+    }
+    cur.exit = p;
+    ++cur.num_samples;
+    if (augmented != nullptr) augmented->append(p);
+  }
+  if (fragments != nullptr) fragments->push_back(cur);
+}
+
+}  // namespace
+
+Fragmenter::Fragmenter(const roadnet::RoadNetwork& net) : net_(net) {}
+
+std::vector<TFragment> Fragmenter::fragment(const traj::Trajectory& tr,
+                                            std::size_t* gap_repairs) const {
+  std::vector<TFragment> out;
+  walk(net_, tr, &out, nullptr, gap_repairs);
+  return out;
+}
+
+traj::Trajectory Fragmenter::augmented(const traj::Trajectory& tr) const {
+  traj::Trajectory out(tr.id());
+  walk(net_, tr, nullptr, &out, nullptr);
+  return out;
+}
+
+Phase1Output Fragmenter::build_base_clusters(const traj::TrajectoryDataset& data,
+                                             unsigned n_threads) const {
+  Phase1Output out;
+
+  // Fragment extraction, optionally parallel over trajectories. Results are
+  // stored per trajectory index and merged in dataset order, so the output
+  // is identical regardless of the thread count.
+  std::vector<std::vector<TFragment>> per_trajectory(data.size());
+  const unsigned workers =
+      std::min<unsigned>(std::max(1u, n_threads), std::max<std::size_t>(1, data.size()));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      per_trajectory[i] = fragment(data[i], &out.num_gap_repairs);
+    }
+  } else {
+    std::vector<std::size_t> gap_counts(workers, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    std::atomic<std::size_t> next{0};
+    for (unsigned w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        for (std::size_t i = next.fetch_add(1); i < data.size(); i = next.fetch_add(1)) {
+          per_trajectory[i] = fragment(data[i], &gap_counts[w]);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::size_t g : gap_counts) out.num_gap_repairs += g;
+  }
+
+  // Grouping (serial; it is a tiny fraction of Phase 1).
+  std::vector<std::int32_t> cluster_of(net_.segment_count(), -1);
+  std::vector<BaseCluster> clusters;
+  for (const std::vector<TFragment>& fragments : per_trajectory) {
+    for (const TFragment& f : fragments) {
+      auto& slot = cluster_of[static_cast<std::size_t>(f.sid.value())];
+      if (slot < 0) {
+        slot = static_cast<std::int32_t>(clusters.size());
+        clusters.emplace_back(f.sid);
+      }
+      clusters[static_cast<std::size_t>(slot)].add(f);
+      ++out.num_fragments;
+    }
+  }
+  for (BaseCluster& c : clusters) c.finalize();
+
+  std::sort(clusters.begin(), clusters.end(), [](const BaseCluster& a, const BaseCluster& b) {
+    if (a.density() != b.density()) return a.density() > b.density();
+    return a.sid() < b.sid();
+  });
+  out.base_clusters = std::move(clusters);
+  return out;
+}
+
+}  // namespace neat

@@ -1,0 +1,65 @@
+// NEAT Phase 1 — base cluster formation (paper §III-A).
+//
+// Step 1: each trajectory is partitioned into t-fragments. Consecutive
+// samples either share a segment, sit on adjacent segments (a junction point
+// is inserted between them, the paper's trajectory splitting points), or sit
+// on non-contiguous segments — in which case the junction sequence connecting
+// them along the travel path is recovered with a (bounded) shortest-path
+// search, mirroring the paper's map-matching-based gap repair, and a
+// zero-sample fragment is emitted for every intermediate segment.
+//
+// Step 2: fragments are grouped by segment id into base clusters, which are
+// returned sorted by density (descending) so the first element is the
+// dense-core the Phase 2 merge starts from.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/base_cluster.h"
+#include "core/fragment.h"
+#include "roadnet/road_network.h"
+#include "traj/dataset.h"
+
+namespace neat {
+
+/// Result of Phase 1 over a dataset.
+struct Phase1Output {
+  /// Base clusters sorted by (density desc, sid asc); index 0 is the
+  /// dense-core. Every cluster is finalized.
+  std::vector<BaseCluster> base_clusters;
+  std::size_t num_fragments{0};    ///< Total t-fragments extracted.
+  std::size_t num_gap_repairs{0};  ///< Non-contiguous sample pairs repaired.
+};
+
+/// Extracts t-fragments and forms base clusters over one road network.
+/// Keeps a reference to the network; do not outlive it.
+class Fragmenter {
+ public:
+  explicit Fragmenter(const roadnet::RoadNetwork& net);
+
+  /// Partitions one trajectory into its t-fragment sequence (travel order).
+  /// Throws neat::PreconditionError when a sample references a segment that
+  /// does not exist. `gap_repairs` (optional) is incremented per repaired
+  /// non-contiguous sample pair.
+  [[nodiscard]] std::vector<TFragment> fragment(const traj::Trajectory& tr,
+                                                std::size_t* gap_repairs = nullptr) const;
+
+  /// The trajectory with the Phase 1 junction points inserted between
+  /// samples that change segments (flagged `junction_point`), as described
+  /// in §III-A.1. Mainly for inspection and tests.
+  [[nodiscard]] traj::Trajectory augmented(const traj::Trajectory& tr) const;
+
+  /// Runs both Phase 1 steps over a dataset. `n_threads` > 1 fragments
+  /// trajectories concurrently (trajectories are independent; the network
+  /// is read-only) and merges per-trajectory results in dataset order, so
+  /// the output is bit-identical to the serial run. Values of 0 and 1 both
+  /// mean serial.
+  [[nodiscard]] Phase1Output build_base_clusters(const traj::TrajectoryDataset& data,
+                                                 unsigned n_threads = 1) const;
+
+ private:
+  const roadnet::RoadNetwork& net_;
+};
+
+}  // namespace neat

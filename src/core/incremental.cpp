@@ -1,0 +1,61 @@
+#include "core/incremental.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat {
+
+IncrementalClusterer::IncrementalClusterer(const roadnet::RoadNetwork& net, Config config,
+                                           IncrementalOptions options)
+    : net_(net), config_(config), options_(options) {
+  // Online operation always needs all three phases.
+  config_.mode = Mode::kOpt;
+  (void)Refiner(net_, config_.refine);  // eager validation
+}
+
+const std::vector<FinalCluster>& IncrementalClusterer::add_batch(
+    const traj::TrajectoryDataset& batch) {
+  for (const traj::Trajectory& tr : batch) {
+    NEAT_EXPECT(seen_ids_.insert(tr.id()).second,
+                str_cat("trajectory id ", tr.id().value(),
+                        " appeared in an earlier batch; ids must be globally unique"));
+  }
+
+  // Phases 1–2 on the new batch only.
+  Config batch_cfg = config_;
+  batch_cfg.mode = Mode::kFlow;
+  const NeatClusterer clusterer(net_, batch_cfg);
+  Result res = clusterer.run(batch);
+
+  // Member/base-cluster indices refer to the batch-local Phase 1 output,
+  // which is not retained; clear them so stale indices cannot be misused.
+  for (FlowCluster& f : res.flow_clusters) {
+    f.members.clear();
+    flows_.push_back(std::move(f));
+    flow_batch_.push_back(batches_);
+  }
+
+  // Sliding window: evict flows from batches older than the window.
+  if (options_.window_batches > 0 && batches_ + 1 > options_.window_batches) {
+    const std::size_t oldest_kept = batches_ + 1 - options_.window_batches;
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < flows_.size(); ++read) {
+      if (flow_batch_[read] >= oldest_kept) {
+        flows_[write] = std::move(flows_[read]);
+        flow_batch_[write] = flow_batch_[read];
+        ++write;
+      }
+    }
+    flows_.resize(write);
+    flow_batch_.resize(write);
+  }
+
+  // Phase 3 over the (windowed) accumulated flow set.
+  const Refiner refiner(net_, config_.refine);
+  Phase3Output p3 = refiner.refine(flows_);
+  clusters_ = std::move(p3.clusters);
+  ++batches_;
+  return clusters_;
+}
+
+}  // namespace neat

@@ -1,0 +1,41 @@
+#include "core/netflow.h"
+
+#include <algorithm>
+
+namespace neat {
+
+int count_common(const std::vector<TrajectoryId>& a, const std::vector<TrajectoryId>& b) {
+  int common = 0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++common;
+      ++ia;
+      ++ib;
+    }
+  }
+  return common;
+}
+
+int netflow(const BaseCluster& a, const BaseCluster& b) {
+  return count_common(a.participants(), b.participants());
+}
+
+int netflow(const std::vector<TrajectoryId>& flow_participants, const BaseCluster& b) {
+  return count_common(flow_participants, b.participants());
+}
+
+std::vector<TrajectoryId> merge_participants(const std::vector<TrajectoryId>& a,
+                                             const std::vector<TrajectoryId>& b) {
+  std::vector<TrajectoryId> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace neat

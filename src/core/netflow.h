@@ -1,0 +1,33 @@
+// Netflow — the traffic-flow coupling between clusters (paper Definition 5).
+//
+// The netflow f(Si, Sj) is the number of trajectories participating in both
+// clusters: it measures how many objects travelled both representative road
+// segments, and is the signal Phase 2 follows when chaining base clusters
+// into flow clusters.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "core/base_cluster.h"
+
+namespace neat {
+
+/// Size of the intersection of two ascending, deduplicated id lists.
+[[nodiscard]] int count_common(const std::vector<TrajectoryId>& a,
+                               const std::vector<TrajectoryId>& b);
+
+/// Netflow f(Si, Sj) between two finalized base clusters (Definition 5).
+/// Symmetric.
+[[nodiscard]] int netflow(const BaseCluster& a, const BaseCluster& b);
+
+/// Netflow f(F, S) between a flow cluster (given by its sorted participant
+/// list) and a base cluster (paper, end of §II-B).
+[[nodiscard]] int netflow(const std::vector<TrajectoryId>& flow_participants,
+                          const BaseCluster& b);
+
+/// Merges two ascending, deduplicated id lists into one (set union).
+[[nodiscard]] std::vector<TrajectoryId> merge_participants(
+    const std::vector<TrajectoryId>& a, const std::vector<TrajectoryId>& b);
+
+}  // namespace neat

@@ -1,0 +1,219 @@
+#include "core/refiner.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "core/netflow.h"
+
+namespace neat {
+
+double hausdorff_from_parts(double d11, double d12, double d21, double d22) {
+  // Eq. 5: max over each endpoint of one route of its distance to the
+  // closest endpoint of the other route, symmetrized.
+  const double fwd = std::max(std::min(d11, d12), std::min(d21, d22));
+  const double bwd = std::max(std::min(d11, d21), std::min(d12, d22));
+  return std::max(fwd, bwd);
+}
+
+Refiner::Refiner(const roadnet::RoadNetwork& net, RefineConfig config)
+    : net_(net), config_(config) {
+  NEAT_EXPECT(config_.epsilon > 0.0, "RefineConfig: epsilon must be positive");
+  NEAT_EXPECT(config_.min_pts >= 1, "RefineConfig: min_pts must be at least 1");
+}
+
+double Refiner::min_euclidean_endpoint_distance(const FlowCluster& a,
+                                                const FlowCluster& b) const {
+  const Point a1 = net_.node(a.start_junction()).pos;
+  const Point a2 = net_.node(a.end_junction()).pos;
+  const Point b1 = net_.node(b.start_junction()).pos;
+  const Point b2 = net_.node(b.end_junction()).pos;
+  return std::min(std::min(distance(a1, b1), distance(a1, b2)),
+                  std::min(distance(a2, b1), distance(a2, b2)));
+}
+
+double Refiner::network_hausdorff(const FlowCluster& a, const FlowCluster& b,
+                                  roadnet::NodeDistanceOracle& oracle) const {
+  const double bound = config_.bound_searches_at_epsilon
+                           ? config_.epsilon
+                           : std::numeric_limits<double>::infinity();
+  const NodeId a1 = a.start_junction();
+  const NodeId a2 = a.end_junction();
+  const NodeId b1 = b.start_junction();
+  const NodeId b2 = b.end_junction();
+  const double d11 = oracle.distance(a1, b1, bound);
+  const double d12 = oracle.distance(a1, b2, bound);
+  const double d21 = oracle.distance(a2, b1, bound);
+  const double d22 = oracle.distance(a2, b2, bound);
+  return hausdorff_from_parts(d11, d12, d21, d22);
+}
+
+double Refiner::euclidean_route_hausdorff(const FlowCluster& a, const FlowCluster& b) const {
+  const auto directed = [&](const std::vector<NodeId>& from, const std::vector<NodeId>& to) {
+    double worst = 0.0;
+    for (const NodeId u : from) {
+      const Point up = net_.node(u).pos;
+      double best = std::numeric_limits<double>::infinity();
+      for (const NodeId v : to) {
+        best = std::min(best, distance(up, net_.node(v).pos));
+      }
+      worst = std::max(worst, best);
+    }
+    return worst;
+  };
+  return std::max(directed(a.junctions, b.junctions), directed(b.junctions, a.junctions));
+}
+
+double Refiner::network_route_hausdorff(const FlowCluster& a, const FlowCluster& b,
+                                        roadnet::NodeDistanceOracle& oracle) const {
+  const double bound = config_.bound_searches_at_epsilon
+                           ? config_.epsilon
+                           : std::numeric_limits<double>::infinity();
+  const auto directed = [&](const std::vector<NodeId>& from, const std::vector<NodeId>& to) {
+    double worst = 0.0;
+    for (const NodeId u : from) {
+      // One multi-target Dijkstra: the first settled junction of `to` is
+      // the closest, i.e. min_v d_N(u, v).
+      worst = std::max(worst, oracle.distance_to_any(u, to, bound));
+      if (worst > config_.epsilon) break;  // the max can only grow
+    }
+    return worst;
+  };
+  return std::max(directed(a.junctions, b.junctions), directed(b.junctions, a.junctions));
+}
+
+double Refiner::elb_key(const FlowCluster& a, const FlowCluster& b) const {
+  return config_.distance_mode == FlowDistanceMode::kEndpoints
+             ? min_euclidean_endpoint_distance(a, b)
+             : euclidean_route_hausdorff(a, b);
+}
+
+double Refiner::flow_distance(const FlowCluster& a, const FlowCluster& b) const {
+  roadnet::NodeDistanceOracle oracle(net_);
+  return config_.distance_mode == FlowDistanceMode::kEndpoints
+             ? network_hausdorff(a, b, oracle)
+             : network_route_hausdorff(a, b, oracle);
+}
+
+Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
+  Phase3Output out;
+  const std::size_t n = flows.size();
+  if (n == 0) return out;
+
+  roadnet::NodeDistanceOracle oracle(net_);
+
+  // Deterministic processing order: longest representative route first
+  // (paper modification 4), ties on the original flow index.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    if (flows[x].route_length != flows[y].route_length) {
+      return flows[x].route_length > flows[y].route_length;
+    }
+    return x < y;
+  });
+
+  // Symmetric pair cache so (i, j) and (j, i) cost one evaluation.
+  std::unordered_map<std::uint64_t, double> pair_cache;
+  const auto pair_key = [n](std::size_t i, std::size_t j) {
+    if (i > j) std::swap(i, j);
+    return static_cast<std::uint64_t>(i) * n + j;
+  };
+
+  const auto pair_distance = [&](std::size_t i, std::size_t j) {
+    const auto it = pair_cache.find(pair_key(i, j));
+    if (it != pair_cache.end()) return it->second;
+    if (config_.use_elb && elb_key(flows[i], flows[j]) > config_.epsilon) {
+      // ELB: the true network distance can only be larger; prune without any
+      // shortest-path computation.
+      ++out.elb_pruned_pairs;
+      const double inf = std::numeric_limits<double>::infinity();
+      pair_cache.emplace(pair_key(i, j), inf);
+      return inf;
+    }
+    const std::size_t before = oracle.computations();
+    const double d = config_.distance_mode == FlowDistanceMode::kEndpoints
+                         ? network_hausdorff(flows[i], flows[j], oracle)
+                         : network_route_hausdorff(flows[i], flows[j], oracle);
+    out.sp_computations += oracle.computations() - before;
+    ++out.pairs_evaluated;
+    pair_cache.emplace(pair_key(i, j), d);
+    return d;
+  };
+
+  // ε-neighborhood of flow i (includes i itself), ascending indices.
+  const auto region_query = [&](std::size_t i) {
+    std::vector<std::size_t> region;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        region.push_back(j);
+        continue;
+      }
+      if (pair_distance(i, j) <= config_.epsilon) region.push_back(j);
+    }
+    return region;
+  };
+
+  // DBSCAN over flows.
+  constexpr std::size_t kUnclassified = std::numeric_limits<std::size_t>::max();
+  constexpr std::size_t kNoise = kUnclassified - 1;
+  std::vector<std::size_t> label(n, kUnclassified);
+  std::vector<std::vector<std::size_t>> groups;
+
+  for (const std::size_t seed : order) {
+    if (label[seed] != kUnclassified) continue;
+    const std::vector<std::size_t> region = region_query(seed);
+    if (region.size() < static_cast<std::size_t>(config_.min_pts)) {
+      label[seed] = kNoise;
+      continue;
+    }
+    const std::size_t cluster_id = groups.size();
+    groups.emplace_back();
+    label[seed] = cluster_id;
+    groups[cluster_id].push_back(seed);
+    std::deque<std::size_t> frontier(region.begin(), region.end());
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop_front();
+      if (label[cur] == kNoise) {  // border point
+        label[cur] = cluster_id;
+        groups[cluster_id].push_back(cur);
+        continue;
+      }
+      if (label[cur] != kUnclassified) continue;
+      label[cur] = cluster_id;
+      groups[cluster_id].push_back(cur);
+      const std::vector<std::size_t> sub_region = region_query(cur);
+      if (sub_region.size() >= static_cast<std::size_t>(config_.min_pts)) {
+        for (const std::size_t nb : sub_region) {
+          if (label[nb] == kUnclassified || label[nb] == kNoise) frontier.push_back(nb);
+        }
+      }
+    }
+  }
+
+  // NEAT partitions all kept flows: residual noise flows (possible only when
+  // min_pts > 1) become singleton clusters, in processing order.
+  for (const std::size_t i : order) {
+    if (label[i] == kNoise || label[i] == kUnclassified) {
+      label[i] = groups.size();
+      groups.push_back({i});
+    }
+  }
+
+  for (std::vector<std::size_t>& members : groups) {
+    std::sort(members.begin(), members.end());
+    FinalCluster fc;
+    fc.flows = std::move(members);
+    for (const std::size_t fi : fc.flows) {
+      fc.total_route_length += flows[fi].route_length;
+      fc.participants = merge_participants(fc.participants, flows[fi].participants);
+    }
+    out.clusters.push_back(std::move(fc));
+  }
+  return out;
+}
+
+}  // namespace neat

@@ -1,0 +1,115 @@
+// NEAT Phase 3 — flow cluster refinement (paper §III-C).
+//
+// Flow clusters whose representative routes end near each other (in *network*
+// distance) are merged into final trajectory clusters, revealing groups of
+// frequent routes between hotspot areas. The distance between two flows is
+// the paper's modified Hausdorff metric over the route endpoints (Definition
+// 11, Eq. 5), evaluated with undirected shortest-path distances. The merge
+// is a deterministic adaptation of DBSCAN: flows are data units, there is no
+// minimum cardinality for resulting clusters, and each round starts from the
+// unprocessed flow with the longest representative route.
+//
+// The Euclidean-lower-bound (ELB) optimization (§III-C.3) skips the four
+// shortest-path computations of a pair whenever the smallest Euclidean
+// endpoint distance already exceeds ε — sound because segment lengths never
+// undercut straight-line distances, so d_E(a, b) <= d_N(a, b).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/flow_cluster.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+
+namespace neat {
+
+/// How the distance between two flow clusters is measured.
+enum class FlowDistanceMode {
+  /// The paper's first prototype (§III-C.1): modified Hausdorff over the
+  /// two ends of each representative route (four shortest paths per pair).
+  kEndpoints,
+  /// Full-route refinement the paper leaves for later prototypes: modified
+  /// Hausdorff over *all* junctions of both representative routes — two
+  /// routes are close only when every part of each runs near the other.
+  /// One multi-target Dijkstra per junction.
+  kFullRoute,
+};
+
+/// Parameters of Phase 3.
+struct RefineConfig {
+  double epsilon{3000.0};  ///< DBSCAN ε in metres of network distance.
+  FlowDistanceMode distance_mode{FlowDistanceMode::kEndpoints};
+  bool use_elb{true};      ///< Euclidean-lower-bound pruning on/off.
+  /// Stop each Dijkstra once the search frontier passes ε. Every clustering
+  /// decision is identical (DBSCAN only asks whether d <= ε; a leg that
+  /// bounds out is > ε, and Formula 5's max/min structure preserves the
+  /// comparison), only the work shrinks. Disable to mirror the paper's
+  /// opt-NEAT-Dijkstra variant, which computes full shortest paths.
+  bool bound_searches_at_epsilon{true};
+  /// DBSCAN minPts over flows. 1 (the default) makes every flow core, which
+  /// matches the paper's "no minimum cardinality" modification.
+  int min_pts{1};
+};
+
+/// A final trajectory cluster: a set of merged flow clusters.
+struct FinalCluster {
+  /// Indices into the Phase 2 flow vector, ascending.
+  std::vector<std::size_t> flows;
+  /// Sum of the members' representative-route lengths (metres).
+  double total_route_length{0.0};
+  /// Distinct participating trajectories, ascending.
+  std::vector<TrajectoryId> participants;
+
+  [[nodiscard]] int cardinality() const { return static_cast<int>(participants.size()); }
+};
+
+/// Result of Phase 3 with the instrumentation the paper's Figure 7 reports.
+struct Phase3Output {
+  std::vector<FinalCluster> clusters;
+  std::size_t sp_computations{0};   ///< Shortest-path (Dijkstra) runs issued.
+  std::size_t elb_pruned_pairs{0};  ///< Flow pairs eliminated by ELB alone.
+  std::size_t pairs_evaluated{0};   ///< Flow pairs whose network distance was computed.
+};
+
+/// The modified Hausdorff distance of Definition 11 given the four pairwise
+/// endpoint distances d(a_i, b_j). Exposed for tests.
+[[nodiscard]] double hausdorff_from_parts(double d11, double d12, double d21, double d22);
+
+/// Merges flow clusters into final trajectory clusters.
+class Refiner {
+ public:
+  /// Keeps a reference to the network; do not outlive it. Throws
+  /// neat::PreconditionError on non-positive ε or minPts < 1.
+  Refiner(const roadnet::RoadNetwork& net, RefineConfig config);
+
+  /// Runs the refinement over the given flows. Deterministic.
+  [[nodiscard]] Phase3Output refine(const std::vector<FlowCluster>& flows) const;
+
+  /// Network (modified Hausdorff) distance between two flow clusters under
+  /// the configured mode, computed with a fresh oracle. For tests/tools.
+  [[nodiscard]] double flow_distance(const FlowCluster& a, const FlowCluster& b) const;
+
+  /// Smallest Euclidean distance among the four endpoint pairs — the ELB
+  /// pruning key of the endpoint mode. Exposed for tests.
+  [[nodiscard]] double min_euclidean_endpoint_distance(const FlowCluster& a,
+                                                       const FlowCluster& b) const;
+
+  /// Euclidean full-route Hausdorff over the junction sets — the ELB
+  /// pruning key of the full-route mode (a lower bound of the network
+  /// value, since d_E <= d_N junction-wise). Exposed for tests.
+  [[nodiscard]] double euclidean_route_hausdorff(const FlowCluster& a,
+                                                 const FlowCluster& b) const;
+
+ private:
+  double network_hausdorff(const FlowCluster& a, const FlowCluster& b,
+                           roadnet::NodeDistanceOracle& oracle) const;
+  double network_route_hausdorff(const FlowCluster& a, const FlowCluster& b,
+                                 roadnet::NodeDistanceOracle& oracle) const;
+  double elb_key(const FlowCluster& a, const FlowCluster& b) const;
+
+  const roadnet::RoadNetwork& net_;
+  RefineConfig config_;
+};
+
+}  // namespace neat

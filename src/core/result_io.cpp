@@ -1,0 +1,138 @@
+#include "core/result_io.h"
+
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/string_util.h"
+#include "core/netflow.h"
+
+namespace neat {
+
+void save_snapshot(const ClusteringSnapshot& snapshot, std::ostream& out) {
+  CsvWriter writer(out);
+  for (std::size_t f = 0; f < snapshot.flows.size(); ++f) {
+    const FlowCluster& flow = snapshot.flows[f];
+    writer.write_row({"flow", std::to_string(f), format_fixed(flow.route_length, 6)});
+    for (std::size_t i = 0; i < flow.route.size(); ++i) {
+      writer.write_row({"flowroute", std::to_string(f), std::to_string(i),
+                        std::to_string(flow.route[i].value())});
+    }
+    for (std::size_t i = 0; i < flow.junctions.size(); ++i) {
+      writer.write_row({"flowjunction", std::to_string(f), std::to_string(i),
+                        std::to_string(flow.junctions[i].value())});
+    }
+    for (const TrajectoryId trid : flow.participants) {
+      writer.write_row({"flowpart", std::to_string(f), std::to_string(trid.value())});
+    }
+  }
+  for (std::size_t c = 0; c < snapshot.final_clusters.size(); ++c) {
+    const FinalCluster& fc = snapshot.final_clusters[c];
+    writer.write_row({"final", std::to_string(c), format_fixed(fc.total_route_length, 6)});
+    for (const std::size_t f : fc.flows) {
+      writer.write_row({"finalflow", std::to_string(c), std::to_string(f)});
+    }
+  }
+}
+
+void save_snapshot(const ClusteringSnapshot& snapshot, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error(str_cat("cannot open '", path, "' for writing"));
+  save_snapshot(snapshot, out);
+}
+
+ClusteringSnapshot load_snapshot(std::istream& in) {
+  ClusteringSnapshot snap;
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  std::size_t line = 0;
+
+  const auto flow_at = [&](std::int64_t idx) -> FlowCluster& {
+    NEAT_EXPECT(idx >= 0, "snapshot: negative flow index");
+    const auto i = static_cast<std::size_t>(idx);
+    if (snap.flows.size() <= i) snap.flows.resize(i + 1);
+    return snap.flows[i];
+  };
+  const auto final_at = [&](std::int64_t idx) -> FinalCluster& {
+    NEAT_EXPECT(idx >= 0, "snapshot: negative final-cluster index");
+    const auto i = static_cast<std::size_t>(idx);
+    if (snap.final_clusters.size() <= i) snap.final_clusters.resize(i + 1);
+    return snap.final_clusters[i];
+  };
+  const auto need = [&](std::size_t n) {
+    if (row.size() != n) {
+      throw ParseError(str_cat("snapshot line ", line, ": expected ", n, " fields, got ",
+                               row.size()));
+    }
+  };
+
+  try {
+    while (reader.read_row(row)) {
+      ++line;
+      if (row.empty() || (row.size() == 1 && trim(row[0]).empty())) continue;
+      const std::string& kind = row[0];
+      if (kind == "flow") {
+        need(3);
+        flow_at(parse_int(row[1])).route_length = parse_double(row[2]);
+      } else if (kind == "flowroute") {
+        need(4);
+        FlowCluster& f = flow_at(parse_int(row[1]));
+        const auto seq = static_cast<std::size_t>(parse_int(row[2]));
+        if (f.route.size() <= seq) f.route.resize(seq + 1);
+        f.route[seq] = SegmentId(static_cast<std::int32_t>(parse_int(row[3])));
+      } else if (kind == "flowjunction") {
+        need(4);
+        FlowCluster& f = flow_at(parse_int(row[1]));
+        const auto seq = static_cast<std::size_t>(parse_int(row[2]));
+        if (f.junctions.size() <= seq) f.junctions.resize(seq + 1);
+        f.junctions[seq] = NodeId(static_cast<std::int32_t>(parse_int(row[3])));
+      } else if (kind == "flowpart") {
+        need(3);
+        flow_at(parse_int(row[1])).participants.push_back(TrajectoryId(parse_int(row[2])));
+      } else if (kind == "final") {
+        need(3);
+        final_at(parse_int(row[1])).total_route_length = parse_double(row[2]);
+      } else if (kind == "finalflow") {
+        need(3);
+        FinalCluster& fc = final_at(parse_int(row[1]));
+        fc.flows.push_back(static_cast<std::size_t>(parse_int(row[2])));
+      } else {
+        throw ParseError(str_cat("snapshot line ", line, ": unknown row kind '", kind, "'"));
+      }
+    }
+  } catch (const PreconditionError& e) {
+    throw ParseError(str_cat("inconsistent snapshot: ", e.what()));
+  }
+
+  // Structural validation: routes and junction paths must be complete, and
+  // final clusters must reference existing flows.
+  for (std::size_t f = 0; f < snap.flows.size(); ++f) {
+    const FlowCluster& flow = snap.flows[f];
+    if (flow.junctions.size() != flow.route.size() + 1) {
+      throw ParseError(str_cat("snapshot: flow ", f, " has ", flow.route.size(),
+                               " route segments but ", flow.junctions.size(), " junctions"));
+    }
+    for (const SegmentId sid : flow.route) {
+      if (!sid.valid()) throw ParseError(str_cat("snapshot: flow ", f, " has a route hole"));
+    }
+  }
+  for (std::size_t c = 0; c < snap.final_clusters.size(); ++c) {
+    FinalCluster& fc = snap.final_clusters[c];
+    for (const std::size_t f : fc.flows) {
+      if (f >= snap.flows.size()) {
+        throw ParseError(str_cat("snapshot: final cluster ", c,
+                                 " references missing flow ", f));
+      }
+      fc.participants = merge_participants(fc.participants, snap.flows[f].participants);
+    }
+  }
+  return snap;
+}
+
+ClusteringSnapshot load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error(str_cat("cannot open '", path, "' for reading"));
+  return load_snapshot(in);
+}
+
+}  // namespace neat

@@ -1,0 +1,87 @@
+// Shared experiment environment for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables/figures over the
+// {ATL, SJ, MIA} × {500, 1000, 2000, 3000, 5000} grid. Networks and datasets
+// are deterministic in (city, object count) and cached per process. Two
+// environment variables rescale the workloads so the whole suite finishes on
+// a laptop while keeping the paper's shapes:
+//
+//   NEAT_BENCH_SCALE      object-count multiplier, default 0.1
+//                         (e.g. "ATL500" simulates 50 objects at the default)
+//   NEAT_BENCH_NET_SCALE  road-network linear-size multiplier, default 1.0
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "roadnet/generators.h"
+#include "roadnet/road_network.h"
+#include "roadnet/spatial_index.h"
+#include "sim/mobility_simulator.h"
+#include "traj/dataset.h"
+
+namespace neat::eval {
+
+/// The object counts of the paper's Table II.
+inline constexpr std::array<std::size_t, 5> kPaperObjectCounts{500, 1000, 2000, 3000, 5000};
+
+/// The three road networks of the paper's Table I.
+inline constexpr std::array<const char*, 3> kCities{"ATL", "SJ", "MIA"};
+
+/// Process-wide cache of generated networks and datasets.
+class ExperimentEnv {
+ public:
+  /// The singleton instance (bench binaries are single-threaded).
+  static ExperimentEnv& instance();
+
+  [[nodiscard]] double object_scale() const { return object_scale_; }
+  [[nodiscard]] double network_scale() const { return network_scale_; }
+
+  /// Paper object count -> scaled count (at least 10).
+  [[nodiscard]] std::size_t scaled_objects(std::size_t paper_objects) const;
+
+  /// The named road network ("ATL", "SJ", "MIA"), generated on first use.
+  const roadnet::RoadNetwork& network(const std::string& city);
+
+  /// Grid index over the named network.
+  const roadnet::SegmentGridIndex& index(const std::string& city);
+
+  /// Simulation config of the named network (hotspots/destinations).
+  const sim::SimConfig& sim_config(const std::string& city);
+
+  /// The dataset "<city><paper_objects>", e.g. ("ATL", 500) = ATL500,
+  /// simulated at the scaled object count. Cached.
+  const traj::TrajectoryDataset& dataset(const std::string& city,
+                                         std::size_t paper_objects);
+
+  ExperimentEnv(const ExperimentEnv&) = delete;
+  ExperimentEnv& operator=(const ExperimentEnv&) = delete;
+
+ private:
+  ExperimentEnv();
+
+  struct CityState {
+    std::unique_ptr<roadnet::RoadNetwork> net;
+    std::unique_ptr<roadnet::SegmentGridIndex> index;
+    std::unique_ptr<sim::SimConfig> sim_cfg;
+    std::map<std::size_t, std::unique_ptr<traj::TrajectoryDataset>> datasets;
+  };
+
+  CityState& city_state(const std::string& city);
+
+  double object_scale_{0.1};
+  double network_scale_{1.0};
+  std::map<std::string, CityState> cities_;
+};
+
+/// Directory bench binaries write CSV series into (created on demand).
+[[nodiscard]] std::string results_dir();
+
+/// Prints the standard scale banner every bench binary emits first.
+void print_scale_banner(std::ostream& out, const std::string& bench_name);
+
+}  // namespace neat::eval

@@ -1,0 +1,77 @@
+#include "eval/flow_diff.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace neat::eval {
+
+double route_jaccard(const FlowCluster& a, const FlowCluster& b) {
+  std::vector<SegmentId> sa = a.route;
+  std::vector<SegmentId> sb = b.route;
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  if (sa.empty() && sb.empty()) return 0.0;
+  std::size_t common = 0;
+  auto ia = sa.begin();
+  auto ib = sb.begin();
+  while (ia != sa.end() && ib != sb.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++common;
+      ++ia;
+      ++ib;
+    }
+  }
+  const std::size_t unions = sa.size() + sb.size() - common;
+  return static_cast<double>(common) / static_cast<double>(unions);
+}
+
+FlowDiff diff_flows(const std::vector<FlowCluster>& before,
+                    const std::vector<FlowCluster>& after, double min_similarity) {
+  NEAT_EXPECT(min_similarity > 0.0 && min_similarity <= 1.0,
+              "diff_flows: min_similarity must be in (0, 1]");
+  FlowDiff diff;
+
+  struct Candidate {
+    double jaccard;
+    std::size_t b;
+    std::size_t a;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t b = 0; b < before.size(); ++b) {
+    for (std::size_t a = 0; a < after.size(); ++a) {
+      const double j = route_jaccard(before[b], after[a]);
+      if (j >= min_similarity) candidates.push_back({j, b, a});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [](const Candidate& x, const Candidate& y) {
+    if (x.jaccard != y.jaccard) return x.jaccard > y.jaccard;
+    if (x.b != y.b) return x.b < y.b;
+    return x.a < y.a;
+  });
+
+  std::vector<bool> before_used(before.size(), false);
+  std::vector<bool> after_used(after.size(), false);
+  for (const Candidate& c : candidates) {
+    if (before_used[c.b] || after_used[c.a]) continue;
+    before_used[c.b] = true;
+    after_used[c.a] = true;
+    diff.persisting.push_back(FlowMatch{
+        c.b, c.a, c.jaccard, after[c.a].cardinality() - before[c.b].cardinality()});
+  }
+  for (std::size_t b = 0; b < before.size(); ++b) {
+    if (!before_used[b]) diff.vanished.push_back(b);
+  }
+  for (std::size_t a = 0; a < after.size(); ++a) {
+    if (!after_used[a]) diff.appeared.push_back(a);
+  }
+  return diff;
+}
+
+}  // namespace neat::eval

@@ -1,0 +1,45 @@
+// Flow evolution analysis — diffing two clustering snapshots.
+//
+// Traffic-monitoring deployments (paper §I) re-cluster periodically; the
+// operational question is *what changed*: which major flows appeared, which
+// vanished, which persisted (possibly with shifted extent). Flows are
+// matched greedily by route similarity (Jaccard index over segment sets),
+// best pairs first — deterministic and order-independent.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/flow_cluster.h"
+
+namespace neat::eval {
+
+/// A matched pair of flows across two snapshots.
+struct FlowMatch {
+  std::size_t before_index;
+  std::size_t after_index;
+  double route_jaccard;     ///< |A ∩ B| / |A ∪ B| over segment sets.
+  int cardinality_change;   ///< after minus before.
+};
+
+/// Result of diffing two flow sets.
+struct FlowDiff {
+  std::vector<FlowMatch> persisting;     ///< Matched flows, best first.
+  std::vector<std::size_t> vanished;     ///< Unmatched indices in `before`.
+  std::vector<std::size_t> appeared;     ///< Unmatched indices in `after`.
+
+  [[nodiscard]] std::size_t matched_count() const { return persisting.size(); }
+};
+
+/// Jaccard similarity of two representative routes (as segment sets).
+/// Both empty: defined as 0.
+[[nodiscard]] double route_jaccard(const FlowCluster& a, const FlowCluster& b);
+
+/// Diffs two flow sets: greedy best-Jaccard matching above `min_similarity`
+/// (pairs below it stay unmatched). Ties break on (before index, after
+/// index), so the result is deterministic.
+[[nodiscard]] FlowDiff diff_flows(const std::vector<FlowCluster>& before,
+                                  const std::vector<FlowCluster>& after,
+                                  double min_similarity = 0.3);
+
+}  // namespace neat::eval

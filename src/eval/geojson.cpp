@@ -1,0 +1,87 @@
+#include "eval/geojson.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace neat::eval {
+
+namespace {
+
+void open_collection(std::ostringstream& os) {
+  os << "{\"type\":\"FeatureCollection\",\"features\":[";
+}
+
+void close_collection(std::ostringstream& os) { os << "]}"; }
+
+void line_string(std::ostringstream& os, const std::vector<Point>& pts,
+                 const std::string& properties, bool first) {
+  if (!first) os << ',';
+  os << "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (i > 0) os << ',';
+    os << '[' << format_fixed(pts[i].x, 2) << ',' << format_fixed(pts[i].y, 2) << ']';
+  }
+  os << "]},\"properties\":{" << properties << "}}";
+}
+
+}  // namespace
+
+std::string network_to_geojson(const roadnet::RoadNetwork& net) {
+  std::ostringstream os;
+  open_collection(os);
+  for (std::size_t i = 0; i < net.segment_count(); ++i) {
+    const auto sid = SegmentId(static_cast<std::int32_t>(i));
+    const roadnet::Segment& s = net.segment(sid);
+    line_string(os, {net.node(s.a).pos, net.node(s.b).pos},
+                str_cat("\"sid\":", i, ",\"speed_mps\":", format_fixed(s.speed_limit, 2),
+                        ",\"length_m\":", format_fixed(s.length, 2),
+                        ",\"bidirectional\":", s.bidirectional ? "true" : "false"),
+                i == 0);
+  }
+  close_collection(os);
+  return os.str();
+}
+
+std::string flows_to_geojson(const roadnet::RoadNetwork& net,
+                             const std::vector<FlowCluster>& flows,
+                             const std::vector<FinalCluster>* final_clusters) {
+  std::vector<int> final_of(flows.size(), -1);
+  if (final_clusters != nullptr) {
+    for (std::size_t c = 0; c < final_clusters->size(); ++c) {
+      for (const std::size_t f : (*final_clusters)[c].flows) {
+        final_of[f] = static_cast<int>(c);
+      }
+    }
+  }
+  std::ostringstream os;
+  open_collection(os);
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    std::vector<Point> pts;
+    pts.reserve(flows[f].junctions.size());
+    for (const NodeId j : flows[f].junctions) pts.push_back(net.node(j).pos);
+    std::string props = str_cat("\"flow\":", f, ",\"cardinality\":", flows[f].cardinality(),
+                                ",\"route_length_m\":", format_fixed(flows[f].route_length, 1));
+    if (final_clusters != nullptr) props += str_cat(",\"final_cluster\":", final_of[f]);
+    line_string(os, pts, props, f == 0);
+  }
+  close_collection(os);
+  return os.str();
+}
+
+std::string trajectories_to_geojson(const traj::TrajectoryDataset& data) {
+  std::ostringstream os;
+  open_collection(os);
+  bool first = true;
+  for (const traj::Trajectory& tr : data) {
+    std::vector<Point> pts;
+    pts.reserve(tr.size());
+    for (const traj::Location& loc : tr.points()) pts.push_back(loc.pos);
+    line_string(os, pts, str_cat("\"trid\":", tr.id().value()), first);
+    first = false;
+  }
+  close_collection(os);
+  return os.str();
+}
+
+}  // namespace neat::eval

@@ -1,0 +1,29 @@
+// GeoJSON export (RFC 7946 structure, planar coordinates) for networks and
+// clustering results — the interchange format GIS tooling actually loads,
+// complementing the SVG renderer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flow_cluster.h"
+#include "core/refiner.h"
+#include "roadnet/road_network.h"
+#include "traj/dataset.h"
+
+namespace neat::eval {
+
+/// The network as a FeatureCollection of LineString features with
+/// properties sid, speed_mps, length_m, bidirectional.
+[[nodiscard]] std::string network_to_geojson(const roadnet::RoadNetwork& net);
+
+/// Flow clusters as LineString features with properties flow, cardinality,
+/// route_length_m and (when `final_clusters` is non-null) final_cluster.
+[[nodiscard]] std::string flows_to_geojson(
+    const roadnet::RoadNetwork& net, const std::vector<FlowCluster>& flows,
+    const std::vector<FinalCluster>* final_clusters = nullptr);
+
+/// Trajectories as LineString features with property trid.
+[[nodiscard]] std::string trajectories_to_geojson(const traj::TrajectoryDataset& data);
+
+}  // namespace neat::eval

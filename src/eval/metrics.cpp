@@ -1,0 +1,56 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/netflow.h"
+
+namespace neat::eval {
+
+RouteLengthStats flow_route_stats(const std::vector<FlowCluster>& flows) {
+  RouteLengthStats st;
+  st.count = flows.size();
+  if (flows.empty()) return st;
+  double sum = 0.0;
+  for (const FlowCluster& f : flows) {
+    sum += f.route_length;
+    st.max_m = std::max(st.max_m, f.route_length);
+  }
+  st.avg_m = sum / static_cast<double>(flows.size());
+  return st;
+}
+
+RouteLengthStats traclus_route_stats(const std::vector<traclus::Cluster>& cs) {
+  RouteLengthStats st;
+  st.count = cs.size();
+  if (cs.empty()) return st;
+  double sum = 0.0;
+  for (const traclus::Cluster& c : cs) {
+    sum += c.representative_length;
+    st.max_m = std::max(st.max_m, c.representative_length);
+  }
+  st.avg_m = sum / static_cast<double>(cs.size());
+  return st;
+}
+
+double fragment_coverage(const Result& result) {
+  if (result.num_fragments == 0) return 0.0;
+  std::size_t kept = 0;
+  for (const FlowCluster& f : result.flow_clusters) {
+    for (const std::size_t bi : f.members) {
+      kept += static_cast<std::size_t>(result.base_clusters[bi].density());
+    }
+  }
+  return static_cast<double>(kept) / static_cast<double>(result.num_fragments);
+}
+
+double trajectory_coverage(const Result& result, std::size_t num_trajectories) {
+  if (num_trajectories == 0) return 0.0;
+  std::vector<TrajectoryId> covered;
+  for (const FlowCluster& f : result.flow_clusters) {
+    covered = merge_participants(covered, f.participants);
+  }
+  return static_cast<double>(covered.size()) / static_cast<double>(num_trajectories);
+}
+
+}  // namespace neat::eval

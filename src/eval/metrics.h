@@ -1,0 +1,33 @@
+// Cluster-quality metrics reported by the paper's evaluation (Figure 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/clusterer.h"
+#include "traclus/traclus.h"
+
+namespace neat::eval {
+
+/// Average/maximum length statistics over a set of representative routes.
+struct RouteLengthStats {
+  std::size_t count{0};
+  double avg_m{0.0};
+  double max_m{0.0};
+};
+
+/// Statistics over NEAT flow-cluster representative routes.
+[[nodiscard]] RouteLengthStats flow_route_stats(const std::vector<FlowCluster>& flows);
+
+/// Statistics over TraClus representative trajectories (clusters whose
+/// representative is empty are counted with length 0).
+[[nodiscard]] RouteLengthStats traclus_route_stats(const std::vector<traclus::Cluster>& cs);
+
+/// Fraction of all extracted t-fragments that ended up in kept flows (the
+/// rest were filtered as minor flows).
+[[nodiscard]] double fragment_coverage(const Result& result);
+
+/// Fraction of dataset trajectories participating in at least one kept flow.
+[[nodiscard]] double trajectory_coverage(const Result& result, std::size_t num_trajectories);
+
+}  // namespace neat::eval

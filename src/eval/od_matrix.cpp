@@ -1,0 +1,74 @@
+#include "eval/od_matrix.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace neat::eval {
+
+OdMatrix::OdMatrix(const std::vector<Zone>& zones, const traj::TrajectoryDataset& data)
+    : zones_(zones) {
+  NEAT_EXPECT(!zones_.empty(), "OdMatrix: at least one zone is required");
+  counts_.assign(zones_.size(), std::vector<int>(zones_.size(), 0));
+  trip_zones_.reserve(data.size());
+  for (const traj::Trajectory& tr : data) {
+    const std::size_t from = nearest_zone(tr.front().pos);
+    const std::size_t to = nearest_zone(tr.back().pos);
+    ++counts_[from][to];
+    trip_zones_.emplace_back(from, to);
+  }
+}
+
+const Zone& OdMatrix::zone(std::size_t i) const {
+  NEAT_EXPECT(i < zones_.size(), "OdMatrix: zone index out of range");
+  return zones_[i];
+}
+
+int OdMatrix::trips(std::size_t from, std::size_t to) const {
+  NEAT_EXPECT(from < zones_.size() && to < zones_.size(),
+              "OdMatrix: zone index out of range");
+  return counts_[from][to];
+}
+
+int OdMatrix::total_trips() const {
+  int total = 0;
+  for (const auto& row : counts_) {
+    for (const int c : row) total += c;
+  }
+  return total;
+}
+
+std::size_t OdMatrix::nearest_zone(Point p) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < zones_.size(); ++i) {
+    const double d = distance_sq(zones_[i].center, p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double OdMatrix::flow_share(std::size_t from, std::size_t to, const FlowCluster& flow,
+                            const traj::TrajectoryDataset& data) const {
+  NEAT_EXPECT(from < zones_.size() && to < zones_.size(),
+              "OdMatrix: zone index out of range");
+  NEAT_EXPECT(trip_zones_.size() == data.size(),
+              "OdMatrix: dataset does not match the one the matrix was built from");
+  const int demand = counts_[from][to];
+  if (demand == 0) return 0.0;
+  int carried = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (trip_zones_[i] != std::make_pair(from, to)) continue;
+    if (std::binary_search(flow.participants.begin(), flow.participants.end(),
+                           data[i].id())) {
+      ++carried;
+    }
+  }
+  return static_cast<double>(carried) / static_cast<double>(demand);
+}
+
+}  // namespace neat::eval

@@ -1,0 +1,59 @@
+// Origin-destination (OD) matrix estimation — the transportation-planning
+// artifact the paper's §I motivates ("knowing which routes in a road
+// network with highly dense and continuous traffic helps optimize rail/bus
+// line and terminal arrangement").
+//
+// Zones are seeded by centre points (typically the simulator's hotspots and
+// destinations); each trajectory contributes one trip from the zone nearest
+// its origin to the zone nearest its destination. Per-OD-pair flow-cluster
+// attribution reports which discovered flows carry each OD demand.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/flow_cluster.h"
+#include "traj/dataset.h"
+
+namespace neat::eval {
+
+/// A demand zone seeded by a centre point.
+struct Zone {
+  std::string name;
+  Point center;
+};
+
+/// Trip counts between zones plus per-pair flow attribution.
+class OdMatrix {
+ public:
+  /// Builds the OD matrix: every trajectory's endpoints map to the nearest
+  /// zone centres. Throws neat::PreconditionError when `zones` is empty.
+  OdMatrix(const std::vector<Zone>& zones, const traj::TrajectoryDataset& data);
+
+  [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
+  [[nodiscard]] const Zone& zone(std::size_t i) const;
+
+  /// Trips observed from zone `from` to zone `to`.
+  [[nodiscard]] int trips(std::size_t from, std::size_t to) const;
+
+  /// Total trips (== dataset size).
+  [[nodiscard]] int total_trips() const;
+
+  /// Index of the zone nearest to `p`.
+  [[nodiscard]] std::size_t nearest_zone(Point p) const;
+
+  /// Fraction of the from->to trips that participate in the given flow
+  /// cluster — "how much of this OD demand does this corridor carry?".
+  [[nodiscard]] double flow_share(std::size_t from, std::size_t to,
+                                  const FlowCluster& flow,
+                                  const traj::TrajectoryDataset& data) const;
+
+ private:
+  std::vector<Zone> zones_;
+  std::vector<std::vector<int>> counts_;
+  std::vector<std::pair<std::size_t, std::size_t>> trip_zones_;  // per trajectory
+};
+
+}  // namespace neat::eval

@@ -1,0 +1,88 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+#include "eval/metrics.h"
+
+namespace neat::eval {
+
+void write_report(std::ostream& out, const roadnet::RoadNetwork& net, const Result& result,
+                  std::size_t dataset_trajectories, const ReportOptions& options) {
+  out << "NEAT clustering report\n"
+      << "======================\n";
+  out << "phase 1: " << result.num_fragments << " t-fragments in "
+      << result.base_clusters.size() << " base clusters";
+  if (result.num_gap_repairs > 0) out << " (" << result.num_gap_repairs << " gap repairs)";
+  out << '\n';
+  if (!result.base_clusters.empty()) {
+    const BaseCluster& core = result.base_clusters.front();
+    out << "  dense-core: segment " << core.sid().value() << " (density "
+        << core.density() << ", " << core.cardinality() << " trajectories)\n";
+  }
+
+  if (!result.flow_clusters.empty() || !result.filtered_flows.empty()) {
+    const RouteLengthStats stats = flow_route_stats(result.flow_clusters);
+    out << "phase 2: " << result.flow_clusters.size() << " flow clusters kept (minCard "
+        << format_fixed(result.effective_min_card, 2) << "), "
+        << result.filtered_flows.size() << " filtered\n";
+    out << "  routes: avg " << format_fixed(stats.avg_m / 1000.0, 2) << " km, max "
+        << format_fixed(stats.max_m / 1000.0, 2) << " km\n";
+    if (dataset_trajectories > 0) {
+      out << "  coverage: "
+          << format_fixed(100.0 * trajectory_coverage(result, dataset_trajectories), 1)
+          << "% of trajectories, "
+          << format_fixed(100.0 * fragment_coverage(result), 1) << "% of fragments\n";
+    }
+
+    // Top flows by service value (cardinality x length).
+    std::vector<std::size_t> order(result.flow_clusters.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const FlowCluster& fa = result.flow_clusters[a];
+      const FlowCluster& fb = result.flow_clusters[b];
+      const double va = fa.cardinality() * fa.route_length;
+      const double vb = fb.cardinality() * fb.route_length;
+      if (va != vb) return va > vb;
+      return a < b;
+    });
+    const std::size_t shown = std::min(options.top_flows, order.size());
+    for (std::size_t r = 0; r < shown; ++r) {
+      const FlowCluster& f = result.flow_clusters[order[r]];
+      const Point a = net.node(f.start_junction()).pos;
+      const Point b = net.node(f.end_junction()).pos;
+      out << "  #" << r + 1 << ": " << f.route.size() << " segments, "
+          << format_fixed(f.route_length / 1000.0, 2) << " km, " << f.cardinality()
+          << " trajectories, (" << format_fixed(a.x, 0) << "," << format_fixed(a.y, 0)
+          << ")->(" << format_fixed(b.x, 0) << "," << format_fixed(b.y, 0) << ")\n";
+    }
+  }
+
+  if (!result.final_clusters.empty()) {
+    out << "phase 3: " << result.final_clusters.size() << " final clusters\n";
+    if (options.include_phase3_work) {
+      out << "  work: " << result.pairs_evaluated << " pairs evaluated, "
+          << result.sp_computations << " shortest paths, " << result.elb_pruned_pairs
+          << " ELB-pruned pairs\n";
+    }
+  }
+
+  if (options.include_timings) {
+    out << "timings: phase1 " << format_fixed(result.timing.phase1_s * 1000, 1)
+        << " ms, phase2 " << format_fixed(result.timing.phase2_s * 1000, 1)
+        << " ms, phase3 " << format_fixed(result.timing.phase3_s * 1000, 1)
+        << " ms (total " << format_fixed(result.timing.total_s() * 1000, 1) << " ms)\n";
+  }
+}
+
+std::string report_string(const roadnet::RoadNetwork& net, const Result& result,
+                          std::size_t dataset_trajectories, const ReportOptions& options) {
+  std::ostringstream os;
+  write_report(os, net, result, dataset_trajectories, options);
+  return os.str();
+}
+
+}  // namespace neat::eval

@@ -1,0 +1,32 @@
+// Human-readable summaries of clustering results — the text a NEAT server
+// operator or CLI user reads after a run.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/clusterer.h"
+#include "roadnet/road_network.h"
+
+namespace neat::eval {
+
+/// Options for report rendering.
+struct ReportOptions {
+  std::size_t top_flows{5};      ///< How many flows to detail.
+  bool include_timings{true};
+  bool include_phase3_work{true};
+};
+
+/// Writes a multi-line report of a NEAT result: per-phase summary, the top
+/// flows by cardinality x length, coverage, and (optionally) timing and
+/// Phase 3 work counters.
+void write_report(std::ostream& out, const roadnet::RoadNetwork& net, const Result& result,
+                  std::size_t dataset_trajectories, const ReportOptions& options = {});
+
+/// Convenience: the report as a string.
+[[nodiscard]] std::string report_string(const roadnet::RoadNetwork& net,
+                                        const Result& result,
+                                        std::size_t dataset_trajectories,
+                                        const ReportOptions& options = {});
+
+}  // namespace neat::eval

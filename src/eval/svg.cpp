@@ -1,0 +1,78 @@
+#include "eval/svg.h"
+
+#include <array>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat::eval {
+
+SvgWriter::SvgWriter(roadnet::Bounds bounds, double width_px)
+    : bounds_(bounds), width_px_(width_px) {
+  const double w = bounds_.max.x - bounds_.min.x;
+  const double h = bounds_.max.y - bounds_.min.y;
+  NEAT_EXPECT(w > 0.0 && h > 0.0, "SvgWriter: degenerate viewport");
+  NEAT_EXPECT(width_px > 0.0, "SvgWriter: output width must be positive");
+  scale_ = width_px_ / w;
+  height_px_ = h * scale_;
+}
+
+Point SvgWriter::to_svg(Point world) const {
+  return {(world.x - bounds_.min.x) * scale_,
+          height_px_ - (world.y - bounds_.min.y) * scale_};  // flip y: north up
+}
+
+void SvgWriter::add_polyline(const std::vector<Point>& pts, const std::string& color,
+                             double width_px, double opacity) {
+  if (pts.size() < 2) return;
+  std::string points;
+  for (const Point p : pts) {
+    const Point s = to_svg(p);
+    points += format_fixed(s.x, 1) + "," + format_fixed(s.y, 1) + " ";
+  }
+  elements_.push_back(str_cat("<polyline points=\"", points, "\" fill=\"none\" stroke=\"",
+                              color, "\" stroke-width=\"", format_fixed(width_px, 2),
+                              "\" stroke-opacity=\"", format_fixed(opacity, 2),
+                              "\" stroke-linecap=\"round\"/>"));
+}
+
+void SvgWriter::add_circle(Point center, double radius_px, const std::string& color) {
+  const Point s = to_svg(center);
+  elements_.push_back(str_cat("<circle cx=\"", format_fixed(s.x, 1), "\" cy=\"",
+                              format_fixed(s.y, 1), "\" r=\"", format_fixed(radius_px, 1),
+                              "\" fill=\"", color, "\"/>"));
+}
+
+void SvgWriter::add_network(const roadnet::RoadNetwork& net, const std::string& color,
+                            double width_px) {
+  for (const roadnet::Segment& s : net.segments()) {
+    add_polyline({net.node(s.a).pos, net.node(s.b).pos}, color, width_px);
+  }
+}
+
+void SvgWriter::write(std::ostream& out) const {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << format_fixed(width_px_, 0)
+      << "\" height=\"" << format_fixed(height_px_, 0) << "\" viewBox=\"0 0 "
+      << format_fixed(width_px_, 0) << ' ' << format_fixed(height_px_, 0) << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const std::string& element : elements_) out << element << '\n';
+  out << "</svg>\n";
+}
+
+void SvgWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error(str_cat("cannot open '", path, "' for writing"));
+  write(out);
+}
+
+std::string SvgWriter::qualitative_color(std::size_t index) {
+  static const std::array<const char*, 10> kPalette{
+      "#d62728", "#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd",
+      "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f"};
+  return kPalette[index % kPalette.size()];
+}
+
+}  // namespace neat::eval

@@ -1,0 +1,56 @@
+// Minimal SVG renderer for networks, trajectories and cluster polylines —
+// the reproduction of the paper's visualization figures (Figure 3/4).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "roadnet/road_network.h"
+
+namespace neat::eval {
+
+/// Builds an SVG scene in network coordinates (y is flipped so north is up)
+/// and writes it as a standalone .svg document.
+class SvgWriter {
+ public:
+  /// `bounds` is the world-coordinate viewport; `width_px` the output width
+  /// (height follows the aspect ratio). Throws neat::PreconditionError on a
+  /// degenerate viewport.
+  explicit SvgWriter(roadnet::Bounds bounds, double width_px = 1000.0);
+
+  /// Adds a polyline; `width_px` is the stroke width in output pixels.
+  void add_polyline(const std::vector<Point>& pts, const std::string& color,
+                    double width_px = 1.0, double opacity = 1.0);
+
+  /// Adds a filled circle of `radius_px` output pixels.
+  void add_circle(Point center, double radius_px, const std::string& color);
+
+  /// Adds every segment of a network as a thin line (the base map).
+  void add_network(const roadnet::RoadNetwork& net, const std::string& color = "#d5d5d5",
+                   double width_px = 0.6);
+
+  /// Serializes the document.
+  void write(std::ostream& out) const;
+
+  /// Writes to a file; throws neat::Error when it cannot be opened.
+  void write(const std::string& path) const;
+
+  [[nodiscard]] std::size_t element_count() const { return elements_.size(); }
+
+  /// A qualitative 10-color palette, cycled by index — for coloring
+  /// clusters deterministically.
+  [[nodiscard]] static std::string qualitative_color(std::size_t index);
+
+ private:
+  [[nodiscard]] Point to_svg(Point world) const;
+
+  roadnet::Bounds bounds_;
+  double width_px_;
+  double height_px_;
+  double scale_;
+  std::vector<std::string> elements_;
+};
+
+}  // namespace neat::eval

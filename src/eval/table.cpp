@@ -1,0 +1,49 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat::eval {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  const auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+  };
+  measure(header_);
+  for (const auto& row : rows_) measure(row);
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << "  " << cell << std::string(width[i] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error(str_cat("cannot open '", path, "' for writing"));
+  CsvWriter writer(out);
+  writer.write_row(header_);
+  for (const auto& row : rows_) writer.write_row(row);
+}
+
+}  // namespace neat::eval

@@ -1,0 +1,35 @@
+// Aligned text tables + CSV dumps for the benchmark harness output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace neat::eval {
+
+/// Collects rows of string cells and prints them as an aligned text table
+/// (and optionally as CSV). Used by every bench binary to render the
+/// paper-shaped tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; it may have fewer cells than the header (padded empty).
+  /// Rows longer than the header widen the table.
+  void add_row(std::vector<std::string> row);
+
+  /// Prints the aligned table (header, rule, rows).
+  void print(std::ostream& out) const;
+
+  /// Writes the table as CSV to `path` (creating parent directories is the
+  /// caller's concern). Throws neat::Error when the file cannot be opened.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace neat::eval

@@ -1,0 +1,61 @@
+// Look-ahead map matching (SLAMM substitute, paper §III-A.1 / [14]).
+//
+// NEAT consumes trajectories whose points carry road-segment ids; raw GPS
+// traces must first be map matched. The paper uses SLAMM, a bulk
+// look-ahead/look-around matcher that resolves ambiguities (e.g. nearby
+// parallel segments) by considering future samples. This implementation
+// achieves the same effect with a full-trace Viterbi pass: per-point
+// candidate segments come from the spatial grid, emission cost is the
+// perpendicular distance, and transition costs prefer staying on a segment
+// or crossing to an adjacent one — so the whole remaining trace acts as the
+// look-ahead window.
+#pragma once
+
+#include <vector>
+
+#include "roadnet/road_network.h"
+#include "roadnet/spatial_index.h"
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+
+namespace neat::mapmatch {
+
+/// Matcher tuning parameters.
+struct MatchConfig {
+  double candidate_radius_m{60.0};   ///< Search radius for candidate segments.
+  std::size_t max_candidates{6};     ///< Candidates kept per point.
+  double adjacent_transition_cost{5.0};      ///< Crossing into an adjacent segment.
+  double disconnected_transition_cost{80.0}; ///< Jumping to a non-adjacent segment.
+};
+
+/// Per-trace matching statistics.
+struct MatchStats {
+  std::size_t matched_points{0};
+  std::size_t dropped_points{0};  ///< No candidate within the radius.
+};
+
+/// Matches raw traces onto a road network. Keeps references to the network
+/// and index; do not outlive them.
+class LookAheadMatcher {
+ public:
+  LookAheadMatcher(const roadnet::RoadNetwork& net, const roadnet::SegmentGridIndex& index,
+                   MatchConfig config = {});
+
+  /// Matches one trace. Points with no candidate segment within the radius
+  /// are dropped; the result can be empty. Matched positions are the
+  /// projections onto the chosen segments. `stats` (optional) receives
+  /// point-level counts.
+  [[nodiscard]] traj::Trajectory match(const traj::RawTrace& trace,
+                                       MatchStats* stats = nullptr) const;
+
+  /// Matches a batch; traces that end up empty are omitted.
+  [[nodiscard]] traj::TrajectoryDataset match_all(const std::vector<traj::RawTrace>& traces,
+                                                  MatchStats* stats = nullptr) const;
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  const roadnet::SegmentGridIndex& index_;
+  MatchConfig config_;
+};
+
+}  // namespace neat::mapmatch

@@ -1,0 +1,49 @@
+#include "roadnet/builder.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat::roadnet {
+
+NodeId RoadNetworkBuilder::add_node(Point pos) {
+  NEAT_EXPECT(std::isfinite(pos.x) && std::isfinite(pos.y),
+              "add_node: coordinates must be finite");
+  nodes_.push_back(Node{pos});
+  return NodeId(static_cast<std::int32_t>(nodes_.size() - 1));
+}
+
+SegmentId RoadNetworkBuilder::add_segment(NodeId a, NodeId b, double speed_limit_mps,
+                                          bool bidirectional, std::optional<double> length) {
+  NEAT_EXPECT(a.valid() && static_cast<std::size_t>(a.value()) < nodes_.size(),
+              "add_segment: endpoint a does not exist");
+  NEAT_EXPECT(b.valid() && static_cast<std::size_t>(b.value()) < nodes_.size(),
+              "add_segment: endpoint b does not exist");
+  NEAT_EXPECT(a != b, "add_segment: self loops are not supported");
+  NEAT_EXPECT(speed_limit_mps > 0.0, "add_segment: speed limit must be positive");
+  const double straight = distance(nodes_[static_cast<std::size_t>(a.value())].pos,
+                                   nodes_[static_cast<std::size_t>(b.value())].pos);
+  const double len = length.value_or(straight);
+  NEAT_EXPECT(len >= straight - 1e-6,
+              str_cat("add_segment: length ", len, " undercuts straight-line distance ",
+                      straight));
+  NEAT_EXPECT(len > 0.0, "add_segment: degenerate segment (coincident endpoints)");
+  segments_.push_back(Segment{a, b, len, speed_limit_mps, bidirectional});
+  return SegmentId(static_cast<std::int32_t>(segments_.size() - 1));
+}
+
+Point RoadNetworkBuilder::node_pos(NodeId id) const {
+  NEAT_EXPECT(id.valid() && static_cast<std::size_t>(id.value()) < nodes_.size(),
+              "node_pos: no such node");
+  return nodes_[static_cast<std::size_t>(id.value())].pos;
+}
+
+RoadNetwork RoadNetworkBuilder::build() {
+  RoadNetwork net(std::move(nodes_), std::move(segments_));
+  nodes_.clear();
+  segments_.clear();
+  return net;
+}
+
+}  // namespace neat::roadnet

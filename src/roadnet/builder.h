@@ -1,0 +1,43 @@
+// Incremental construction of RoadNetwork instances.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "roadnet/road_network.h"
+
+namespace neat::roadnet {
+
+/// Builds a RoadNetwork node by node and segment by segment. Ids are handed
+/// out densely in insertion order, so callers can build lookup tables as they
+/// insert. `build()` validates and finalizes; the builder is then empty.
+class RoadNetworkBuilder {
+ public:
+  /// Adds a junction at the given position; returns its id.
+  NodeId add_node(Point pos);
+
+  /// Adds a road segment between two previously added junctions; returns its
+  /// id. `length` defaults to the straight-line distance between endpoints.
+  /// Throws neat::PreconditionError on invalid endpoints, non-positive speed,
+  /// or a length below the straight-line distance.
+  SegmentId add_segment(NodeId a, NodeId b, double speed_limit_mps,
+                        bool bidirectional = true,
+                        std::optional<double> length = std::nullopt);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t segment_count() const { return segments_.size(); }
+
+  /// Position of an already-added node.
+  [[nodiscard]] Point node_pos(NodeId id) const;
+
+  /// Finalizes the network; the builder is left empty and reusable.
+  [[nodiscard]] RoadNetwork build();
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace neat::roadnet

@@ -1,0 +1,353 @@
+#include "roadnet/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "roadnet/builder.h"
+
+namespace neat::roadnet {
+
+namespace {
+
+enum class RoadClass { kLocal, kCollector, kArterial };
+
+struct CandidateEdge {
+  int u;  ///< Lattice index of the first node.
+  int v;  ///< Lattice index of the second node.
+  RoadClass cls;
+  bool bidirectional;
+};
+
+RoadClass classify(int fixed_index, const CityParams& p) {
+  if (fixed_index % p.arterial_period == 0) return RoadClass::kArterial;
+  if (fixed_index % p.collector_period == 0) return RoadClass::kCollector;
+  return RoadClass::kLocal;
+}
+
+double class_speed(RoadClass cls, const CityParams& p) {
+  switch (cls) {
+    case RoadClass::kArterial: return p.arterial_speed_mps;
+    case RoadClass::kCollector: return p.collector_speed_mps;
+    case RoadClass::kLocal: return p.local_speed_mps;
+  }
+  return p.local_speed_mps;
+}
+
+double keep_probability(RoadClass cls, const CityParams& p) {
+  switch (cls) {
+    case RoadClass::kArterial: return 1.0;
+    case RoadClass::kCollector:
+      return std::min(1.0, p.local_keep_probability + p.collector_keep_bonus);
+    case RoadClass::kLocal: return p.local_keep_probability;
+  }
+  return p.local_keep_probability;
+}
+
+}  // namespace
+
+RoadNetwork make_city(const CityParams& p) {
+  NEAT_EXPECT(p.rows >= 2 && p.cols >= 2, "make_city: lattice must be at least 2x2");
+  NEAT_EXPECT(p.spacing_m > 0.0, "make_city: spacing must be positive");
+  NEAT_EXPECT(p.arterial_period >= 1 && p.collector_period >= 1,
+              "make_city: periods must be at least 1");
+  Rng rng(p.seed);
+
+  const int n_lattice = p.rows * p.cols;
+  const auto lattice_index = [&](int r, int c) { return r * p.cols + c; };
+
+  // 1. Jittered node positions.
+  std::vector<Point> pos(static_cast<std::size_t>(n_lattice));
+  const double jitter = p.jitter_frac * p.spacing_m;
+  for (int r = 0; r < p.rows; ++r) {
+    for (int c = 0; c < p.cols; ++c) {
+      pos[static_cast<std::size_t>(lattice_index(r, c))] = {
+          c * p.spacing_m + rng.uniform(-jitter, jitter),
+          r * p.spacing_m + rng.uniform(-jitter, jitter)};
+    }
+  }
+
+  // 2. Candidate edges with hierarchy-aware retention.
+  std::vector<CandidateEdge> kept;
+  kept.reserve(static_cast<std::size_t>(n_lattice) * 2);
+  for (int r = 0; r < p.rows; ++r) {
+    for (int c = 0; c < p.cols; ++c) {
+      // Horizontal edge (r, c) -> (r, c + 1): its class follows the row.
+      if (c + 1 < p.cols) {
+        const RoadClass cls = classify(r, p);
+        if (rng.bernoulli(keep_probability(cls, p))) {
+          const bool oneway =
+              cls == RoadClass::kLocal && rng.bernoulli(p.oneway_probability);
+          kept.push_back({lattice_index(r, c), lattice_index(r, c + 1), cls, !oneway});
+        }
+      }
+      // Vertical edge (r, c) -> (r + 1, c): its class follows the column.
+      if (r + 1 < p.rows) {
+        const RoadClass cls = classify(c, p);
+        if (rng.bernoulli(keep_probability(cls, p))) {
+          const bool oneway =
+              cls == RoadClass::kLocal && rng.bernoulli(p.oneway_probability);
+          kept.push_back({lattice_index(r, c), lattice_index(r + 1, c), cls, !oneway});
+        }
+      }
+      // Sparse diagonals raise junction degrees above the lattice's 4.
+      if (r + 1 < p.rows && c + 1 < p.cols && rng.bernoulli(p.diagonal_probability)) {
+        kept.push_back({lattice_index(r, c), lattice_index(r + 1, c + 1),
+                        RoadClass::kLocal, true});
+      }
+      if (p.anti_diagonals && r + 1 < p.rows && c >= 1 &&
+          rng.bernoulli(p.diagonal_probability)) {
+        kept.push_back({lattice_index(r, c), lattice_index(r + 1, c - 1),
+                        RoadClass::kLocal, true});
+      }
+    }
+  }
+
+  // 3. Largest connected component over the undirected skeleton.
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n_lattice));
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    adj[static_cast<std::size_t>(kept[i].u)].push_back(static_cast<int>(i));
+    adj[static_cast<std::size_t>(kept[i].v)].push_back(static_cast<int>(i));
+  }
+  std::vector<int> component(static_cast<std::size_t>(n_lattice), -1);
+  int n_components = 0;
+  std::vector<int> component_size;
+  for (int start = 0; start < n_lattice; ++start) {
+    if (component[static_cast<std::size_t>(start)] != -1 ||
+        adj[static_cast<std::size_t>(start)].empty()) {
+      continue;
+    }
+    const int comp = n_components++;
+    component_size.push_back(0);
+    std::queue<int> frontier;
+    frontier.push(start);
+    component[static_cast<std::size_t>(start)] = comp;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      ++component_size[static_cast<std::size_t>(comp)];
+      for (const int ei : adj[static_cast<std::size_t>(u)]) {
+        const CandidateEdge& e = kept[static_cast<std::size_t>(ei)];
+        const int w = (e.u == u) ? e.v : e.u;
+        if (component[static_cast<std::size_t>(w)] == -1) {
+          component[static_cast<std::size_t>(w)] = comp;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  NEAT_EXPECT(n_components > 0, "make_city: generated an empty network");
+  const int biggest = static_cast<int>(
+      std::max_element(component_size.begin(), component_size.end()) -
+      component_size.begin());
+
+  // 4. Relabel and build.
+  RoadNetworkBuilder builder;
+  std::vector<NodeId> node_of(static_cast<std::size_t>(n_lattice), NodeId::invalid());
+  for (int i = 0; i < n_lattice; ++i) {
+    if (component[static_cast<std::size_t>(i)] == biggest) {
+      node_of[static_cast<std::size_t>(i)] = builder.add_node(pos[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (const CandidateEdge& e : kept) {
+    const NodeId a = node_of[static_cast<std::size_t>(e.u)];
+    const NodeId b = node_of[static_cast<std::size_t>(e.v)];
+    if (!a.valid() || !b.valid()) continue;
+    builder.add_segment(a, b, class_speed(e.cls, p), e.bidirectional);
+  }
+  return builder.build();
+}
+
+RoadNetwork make_grid(int rows, int cols, double spacing_m, double speed_mps) {
+  NEAT_EXPECT(rows >= 1 && cols >= 1, "make_grid: dimensions must be positive");
+  NEAT_EXPECT(spacing_m > 0.0, "make_grid: spacing must be positive");
+  RoadNetworkBuilder builder;
+  std::vector<NodeId> nodes(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      nodes[static_cast<std::size_t>(r * cols + c)] =
+          builder.add_node({c * spacing_m, r * spacing_m});
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.add_segment(nodes[static_cast<std::size_t>(r * cols + c)],
+                            nodes[static_cast<std::size_t>(r * cols + c + 1)], speed_mps);
+      }
+      if (r + 1 < rows) {
+        builder.add_segment(nodes[static_cast<std::size_t>(r * cols + c)],
+                            nodes[static_cast<std::size_t>((r + 1) * cols + c)], speed_mps);
+      }
+    }
+  }
+  return builder.build();
+}
+
+namespace {
+
+int scaled_dim(int dim, double scale) {
+  NEAT_EXPECT(scale > 0.0 && scale <= 1.0, "preset scale must be in (0, 1]");
+  return std::max(8, static_cast<int>(std::lround(dim * std::sqrt(scale))));
+}
+
+}  // namespace
+
+CityParams atl_params(double scale) {
+  CityParams p;
+  p.rows = scaled_dim(85, scale);
+  p.cols = scaled_dim(85, scale);
+  p.spacing_m = 148.0;
+  p.local_keep_probability = 0.56;
+  p.collector_keep_bonus = 0.15;
+  p.arterial_period = 8;
+  p.collector_period = 4;
+  p.diagonal_probability = 0.02;
+  p.anti_diagonals = false;
+  p.oneway_probability = 0.02;
+  p.seed = 42;
+  return p;
+}
+
+CityParams sj_params(double scale) {
+  CityParams p;
+  p.rows = scaled_dim(105, scale);
+  p.cols = scaled_dim(105, scale);
+  p.spacing_m = 122.5;
+  p.local_keep_probability = 0.59;
+  p.collector_keep_bonus = 0.15;
+  p.arterial_period = 8;
+  p.collector_period = 4;
+  p.diagonal_probability = 0.02;
+  p.anti_diagonals = false;
+  p.oneway_probability = 0.02;
+  p.seed = 43;
+  return p;
+}
+
+CityParams mia_params(double scale) {
+  CityParams p;
+  p.rows = scaled_dim(325, scale);
+  p.cols = scaled_dim(325, scale);
+  p.spacing_m = 167.0;
+  p.local_keep_probability = 0.67;
+  p.collector_keep_bonus = 0.15;
+  p.arterial_period = 10;
+  p.collector_period = 5;
+  p.diagonal_probability = 0.03;
+  p.anti_diagonals = true;
+  p.oneway_probability = 0.02;
+  p.seed = 44;
+  return p;
+}
+
+RoadNetwork make_radial_city(const RadialCityParams& p) {
+  NEAT_EXPECT(p.rings >= 1 && p.spokes >= 3, "make_radial_city: need >=1 ring, >=3 spokes");
+  NEAT_EXPECT(p.ring_spacing_m > 0.0, "make_radial_city: spacing must be positive");
+  Rng rng(p.seed);
+
+  // Lattice in polar coordinates: node (r, s) sits on ring r at spoke s;
+  // index 0 is the center.
+  const auto polar_index = [&](int r, int s) { return 1 + (r - 1) * p.spokes + s; };
+  const int n_nodes = 1 + p.rings * p.spokes;
+  std::vector<Point> pos(static_cast<std::size_t>(n_nodes));
+  pos[0] = {0.0, 0.0};
+  const double jitter = p.jitter_frac * p.ring_spacing_m;
+  for (int r = 1; r <= p.rings; ++r) {
+    for (int s = 0; s < p.spokes; ++s) {
+      const double angle = 2.0 * M_PI * s / p.spokes + rng.uniform(-0.02, 0.02);
+      const double radius = r * p.ring_spacing_m + rng.uniform(-jitter, jitter);
+      pos[static_cast<std::size_t>(polar_index(r, s))] = {radius * std::cos(angle),
+                                                          radius * std::sin(angle)};
+    }
+  }
+
+  struct Candidate {
+    int u, v;
+    double speed;
+  };
+  std::vector<Candidate> kept;
+  for (int s = 0; s < p.spokes; ++s) {
+    // Radial segments: center -> ring1 -> ring2 -> ...
+    if (rng.bernoulli(p.spoke_keep_probability)) {
+      kept.push_back({0, polar_index(1, s), p.radial_speed_mps});
+    }
+    for (int r = 2; r <= p.rings; ++r) {
+      if (rng.bernoulli(p.spoke_keep_probability)) {
+        kept.push_back({polar_index(r - 1, s), polar_index(r, s), p.radial_speed_mps});
+      }
+    }
+    // Ring segments: (r, s) -> (r, s+1).
+    for (int r = 1; r <= p.rings; ++r) {
+      if (rng.bernoulli(p.ring_keep_probability)) {
+        kept.push_back({polar_index(r, s), polar_index(r, (s + 1) % p.spokes),
+                        p.ring_speed_mps});
+      }
+    }
+  }
+
+  // Largest connected component (same scheme as make_city).
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n_nodes));
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    adj[static_cast<std::size_t>(kept[i].u)].push_back(static_cast<int>(i));
+    adj[static_cast<std::size_t>(kept[i].v)].push_back(static_cast<int>(i));
+  }
+  std::vector<int> component(static_cast<std::size_t>(n_nodes), -1);
+  std::vector<int> component_size;
+  for (int start = 0; start < n_nodes; ++start) {
+    if (component[static_cast<std::size_t>(start)] != -1 ||
+        adj[static_cast<std::size_t>(start)].empty()) {
+      continue;
+    }
+    const int comp = static_cast<int>(component_size.size());
+    component_size.push_back(0);
+    std::queue<int> frontier;
+    frontier.push(start);
+    component[static_cast<std::size_t>(start)] = comp;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      ++component_size[static_cast<std::size_t>(comp)];
+      for (const int ei : adj[static_cast<std::size_t>(u)]) {
+        const Candidate& e = kept[static_cast<std::size_t>(ei)];
+        const int w = (e.u == u) ? e.v : e.u;
+        if (component[static_cast<std::size_t>(w)] == -1) {
+          component[static_cast<std::size_t>(w)] = comp;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  NEAT_EXPECT(!component_size.empty(), "make_radial_city: generated an empty network");
+  const int biggest = static_cast<int>(
+      std::max_element(component_size.begin(), component_size.end()) -
+      component_size.begin());
+
+  RoadNetworkBuilder builder;
+  std::vector<NodeId> node_of(static_cast<std::size_t>(n_nodes), NodeId::invalid());
+  for (int i = 0; i < n_nodes; ++i) {
+    if (component[static_cast<std::size_t>(i)] == biggest) {
+      node_of[static_cast<std::size_t>(i)] = builder.add_node(pos[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (const Candidate& e : kept) {
+    const NodeId a = node_of[static_cast<std::size_t>(e.u)];
+    const NodeId b = node_of[static_cast<std::size_t>(e.v)];
+    if (a.valid() && b.valid()) builder.add_segment(a, b, e.speed);
+  }
+  return builder.build();
+}
+
+RoadNetwork make_named_city(std::string_view name, double scale) {
+  if (name == "ATL") return make_city(atl_params(scale));
+  if (name == "SJ") return make_city(sj_params(scale));
+  if (name == "MIA") return make_city(mia_params(scale));
+  throw PreconditionError(str_cat("unknown city preset: '", std::string(name),
+                                  "' (expected ATL, SJ or MIA)"));
+}
+
+}  // namespace neat::roadnet

@@ -1,0 +1,87 @@
+// Synthetic road-network generators.
+//
+// The paper evaluates on three real maps — North West Atlanta (USGS), West
+// San Jose (USGS) and Miami-Dade (TIGER/Line) — summarized by the statistics
+// of its Table I. Those map files are not redistributable, so this module
+// generates networks with matched statistics instead: a jittered lattice with
+// an arterial / collector / local road hierarchy, random local-street
+// drop-out (creating dead ends and irregular blocks), sparse diagonal links
+// (raising junction degree above 4), occasional one-way streets, and
+// per-class speed limits. NEAT's behaviour depends on segment counts,
+// junction degrees, route-length distributions and speed classes — all of
+// which the presets reproduce — not on absolute coordinates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "roadnet/road_network.h"
+
+namespace neat::roadnet {
+
+/// Parameters of the synthetic city generator.
+struct CityParams {
+  int rows{50};                       ///< Lattice rows.
+  int cols{50};                       ///< Lattice columns.
+  double spacing_m{150.0};            ///< Nominal block edge length.
+  double jitter_frac{0.15};           ///< Node jitter as a fraction of spacing.
+  double local_keep_probability{0.6}; ///< Retention of local-street edges.
+  double collector_keep_bonus{0.15};  ///< Added to retention for collectors.
+  int arterial_period{8};             ///< Every k-th row/col is an arterial.
+  int collector_period{4};            ///< Every k-th row/col is (at least) a collector.
+  double diagonal_probability{0.02};  ///< Chance a node sports a NE diagonal.
+  bool anti_diagonals{false};         ///< Also allow NW diagonals (denser cities).
+  double oneway_probability{0.02};    ///< Chance a local street is one-way.
+  double arterial_speed_mps{22.2};    ///< ~80 km/h.
+  double collector_speed_mps{16.7};   ///< ~60 km/h.
+  double local_speed_mps{11.1};       ///< ~40 km/h.
+  std::uint64_t seed{1};
+};
+
+/// Generates a city network: builds the lattice, applies the hierarchy and
+/// drop-out, then keeps only the largest connected component (so every pair
+/// of junctions is connected ignoring one-way restrictions).
+[[nodiscard]] RoadNetwork make_city(const CityParams& params);
+
+/// Full rectangular lattice with uniform spacing and speed — deterministic,
+/// no drop-out. Convenient for unit tests. Node ids are row-major.
+[[nodiscard]] RoadNetwork make_grid(int rows, int cols, double spacing_m,
+                                    double speed_mps = 13.9);
+
+/// Preset matched to Table I "North West Atlanta, GA" (9187 segments, 6979
+/// junctions, 1384 km, avg segment 150.7 m, degree avg 2.6 / max 6).
+/// `scale` in (0, 1] shrinks linear dimensions so segment counts scale
+/// roughly linearly with it.
+[[nodiscard]] CityParams atl_params(double scale = 1.0);
+
+/// Preset matched to Table I "West San Jose, CA" (14600 segments, 10929
+/// junctions, 1821 km, avg segment 124.7 m, degree avg 2.7 / max 6).
+[[nodiscard]] CityParams sj_params(double scale = 1.0);
+
+/// Preset matched to Table I "Miami-Dade, FL" (154681 segments, 103377
+/// junctions, 26148 km, avg segment 169.0 m, degree avg 3.0 / max 9).
+[[nodiscard]] CityParams mia_params(double scale = 1.0);
+
+/// Builds one of the named presets: "ATL", "SJ" or "MIA".
+/// Throws neat::PreconditionError for unknown names.
+[[nodiscard]] RoadNetwork make_named_city(std::string_view name, double scale = 1.0);
+
+/// Parameters of the radial ("spider web") city generator: concentric ring
+/// roads crossed by radial arterials — the classic European-city topology,
+/// complementing the lattice generator for robustness testing.
+struct RadialCityParams {
+  int rings{8};                       ///< Number of concentric rings.
+  int spokes{12};                     ///< Radial roads.
+  double ring_spacing_m{300.0};       ///< Distance between rings.
+  double jitter_frac{0.05};           ///< Node jitter as a fraction of spacing.
+  double ring_keep_probability{0.9};  ///< Retention of ring-road segments.
+  double spoke_keep_probability{0.97};///< Retention of radial segments.
+  double radial_speed_mps{22.2};      ///< Spokes are arterials.
+  double ring_speed_mps{13.9};        ///< Rings are collectors.
+  std::uint64_t seed{1};
+};
+
+/// Generates a radial city; keeps only the largest connected component.
+[[nodiscard]] RoadNetwork make_radial_city(const RadialCityParams& params);
+
+}  // namespace neat::roadnet

@@ -1,0 +1,30 @@
+// CSV persistence for road networks.
+//
+// Format (one file):
+//   node,<id>,<x>,<y>
+//   segment,<id>,<a>,<b>,<length>,<speed>,<bidirectional 0|1>
+// Rows may appear in any order but ids must be dense and consistent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "roadnet/road_network.h"
+
+namespace neat::roadnet {
+
+/// Writes the network to a stream in the CSV format above.
+void save_network(const RoadNetwork& net, std::ostream& out);
+
+/// Writes the network to a file. Throws neat::Error when the file cannot be
+/// opened.
+void save_network(const RoadNetwork& net, const std::string& path);
+
+/// Reads a network from a stream. Throws neat::ParseError on malformed data.
+[[nodiscard]] RoadNetwork load_network(std::istream& in);
+
+/// Reads a network from a file. Throws neat::Error when the file cannot be
+/// opened and neat::ParseError on malformed data.
+[[nodiscard]] RoadNetwork load_network(const std::string& path);
+
+}  // namespace neat::roadnet

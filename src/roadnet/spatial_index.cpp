@@ -1,0 +1,147 @@
+#include "roadnet/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace neat::roadnet {
+
+const std::vector<SegmentId> SegmentGridIndex::kEmptyCell;
+
+SegmentGridIndex::SegmentGridIndex(const RoadNetwork& net, double cell_size) : net_(net) {
+  const Bounds bb = net.bounding_box();
+  const NetworkStats st = net.stats();
+  cell_ = cell_size > 0.0 ? cell_size : std::max(50.0, 2.0 * st.avg_segment_length_m);
+  // Pad the box so boundary geometry maps to valid cells.
+  origin_ = {bb.min.x - cell_, bb.min.y - cell_};
+  const double w = (bb.max.x - origin_.x) + 2 * cell_;
+  const double h = (bb.max.y - origin_.y) + 2 * cell_;
+  nx_ = std::max(1, static_cast<int>(std::ceil(w / cell_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(h / cell_)));
+  cells_.resize(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
+
+  for (std::size_t i = 0; i < net.segment_count(); ++i) {
+    const auto sid = SegmentId(static_cast<std::int32_t>(i));
+    const Segment& s = net.segment(sid);
+    const Point pa = net.node(s.a).pos;
+    const Point pb = net.node(s.b).pos;
+    const Point lo{std::min(pa.x, pb.x), std::min(pa.y, pb.y)};
+    const Point hi{std::max(pa.x, pb.x), std::max(pa.y, pb.y)};
+    const CellRange r = cells_overlapping(lo, hi);
+    for (int cy = r.y0; cy <= r.y1; ++cy) {
+      for (int cx = r.x0; cx <= r.x1; ++cx) {
+        // Only register in cells the segment actually comes near, so queries
+        // do not scan the full bounding box of long diagonals.
+        const Point cell_min{origin_.x + cx * cell_, origin_.y + cy * cell_};
+        const Point cell_center{cell_min.x + cell_ / 2, cell_min.y + cell_ / 2};
+        const double half_diag = cell_ * 0.70710678 + 1e-9;
+        if (point_segment_distance(cell_center, pa, pb) <= half_diag) {
+          cells_[static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx)]
+              .push_back(sid);
+        }
+      }
+    }
+  }
+}
+
+SegmentGridIndex::CellRange SegmentGridIndex::cells_overlapping(Point lo, Point hi) const {
+  const auto clamp_x = [this](int v) { return std::clamp(v, 0, nx_ - 1); };
+  const auto clamp_y = [this](int v) { return std::clamp(v, 0, ny_ - 1); };
+  CellRange r{};
+  r.x0 = clamp_x(static_cast<int>(std::floor((lo.x - origin_.x) / cell_)));
+  r.x1 = clamp_x(static_cast<int>(std::floor((hi.x - origin_.x) / cell_)));
+  r.y0 = clamp_y(static_cast<int>(std::floor((lo.y - origin_.y) / cell_)));
+  r.y1 = clamp_y(static_cast<int>(std::floor((hi.y - origin_.y) / cell_)));
+  return r;
+}
+
+const std::vector<SegmentId>& SegmentGridIndex::cell(int cx, int cy) const {
+  if (cx < 0 || cx >= nx_ || cy < 0 || cy >= ny_) return kEmptyCell;
+  return cells_[static_cast<std::size_t>(cy) * nx_ + static_cast<std::size_t>(cx)];
+}
+
+SegmentId SegmentGridIndex::nearest_segment(Point p, double max_radius,
+                                            double* out_dist) const {
+  const int px = static_cast<int>(std::floor((p.x - origin_.x) / cell_));
+  const int py = static_cast<int>(std::floor((p.y - origin_.y) / cell_));
+  const int grid_span = nx_ + ny_;  // covers the whole grid from any cell
+  const int max_ring =
+      std::isfinite(max_radius)
+          ? std::min(grid_span, static_cast<int>(std::ceil(max_radius / cell_)) + 1)
+          : grid_span;
+
+  double best = std::numeric_limits<double>::infinity();
+  SegmentId best_sid = SegmentId::invalid();
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate is found, geometry in rings beyond (found_ring + 1)
+    // cannot beat it; stop after one extra ring.
+    if (best_sid.valid() && static_cast<double>(ring - 1) * cell_ > best) break;
+    if (static_cast<double>(ring - 1) * cell_ > max_radius) break;
+    const auto visit = [&](int cx, int cy) {
+      for (const SegmentId sid : cell(cx, cy)) {
+        const Segment& s = net_.segment(sid);
+        const double d = point_segment_distance(p, net_.node(s.a).pos, net_.node(s.b).pos);
+        if (d < best || (d == best && (!best_sid.valid() || sid < best_sid))) {
+          best = d;
+          best_sid = sid;
+        }
+      }
+    };
+    if (ring == 0) {
+      visit(px, py);
+      continue;
+    }
+    for (int cx = px - ring; cx <= px + ring; ++cx) {
+      visit(cx, py - ring);
+      visit(cx, py + ring);
+    }
+    for (int cy = py - ring + 1; cy <= py + ring - 1; ++cy) {
+      visit(px - ring, cy);
+      visit(px + ring, cy);
+    }
+  }
+  if (best > max_radius) return SegmentId::invalid();
+  if (out_dist != nullptr && best_sid.valid()) *out_dist = best;
+  return best_sid;
+}
+
+std::vector<SegmentId> SegmentGridIndex::segments_within(Point p, double radius) const {
+  const CellRange r = cells_overlapping({p.x - radius, p.y - radius},
+                                        {p.x + radius, p.y + radius});
+  std::vector<SegmentId> out;
+  for (int cy = r.y0; cy <= r.y1; ++cy) {
+    for (int cx = r.x0; cx <= r.x1; ++cx) {
+      for (const SegmentId sid : cell(cx, cy)) {
+        const Segment& s = net_.segment(sid);
+        if (point_segment_distance(p, net_.node(s.a).pos, net_.node(s.b).pos) <= radius) {
+          out.push_back(sid);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<SegmentId> SegmentGridIndex::k_nearest_segments(Point p, std::size_t k,
+                                                            double max_radius) const {
+  std::vector<SegmentId> candidates = segments_within(p, max_radius);
+  std::vector<std::pair<double, SegmentId>> scored;
+  scored.reserve(candidates.size());
+  for (const SegmentId sid : candidates) {
+    const Segment& s = net_.segment(sid);
+    scored.emplace_back(point_segment_distance(p, net_.node(s.a).pos, net_.node(s.b).pos),
+                        sid);
+  }
+  std::sort(scored.begin(), scored.end());
+  if (scored.size() > k) scored.resize(k);
+  std::vector<SegmentId> out;
+  out.reserve(scored.size());
+  for (const auto& [d, sid] : scored) out.push_back(sid);
+  return out;
+}
+
+}  // namespace neat::roadnet

@@ -1,0 +1,58 @@
+// Uniform-grid spatial index over road segments.
+//
+// Backs two consumers: the map matcher (candidate segments near a raw GPS
+// point) and the TraClus baseline (ε-range candidate generation). Cells store
+// the segments whose geometry overlaps them; queries expand outward ring by
+// ring, so a nearest-segment lookup touches O(1) cells on typical networks.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "roadnet/road_network.h"
+
+namespace neat::roadnet {
+
+/// Grid index over the straight-line geometry of every segment in a network.
+/// The index keeps a reference to the network; do not outlive it.
+class SegmentGridIndex {
+ public:
+  /// Builds the index. `cell_size` is in metres; pass 0 to pick a size near
+  /// twice the average segment length automatically.
+  explicit SegmentGridIndex(const RoadNetwork& net, double cell_size = 0.0);
+
+  /// The segment whose geometry is closest to `p`, searching at most
+  /// `max_radius` metres; invalid id when none is within the radius.
+  /// `out_dist` (optional) receives the point-to-segment distance.
+  [[nodiscard]] SegmentId nearest_segment(Point p, double max_radius,
+                                          double* out_dist = nullptr) const;
+
+  /// All segments whose geometry lies within `radius` of `p`, in ascending
+  /// id order (deterministic).
+  [[nodiscard]] std::vector<SegmentId> segments_within(Point p, double radius) const;
+
+  /// Up to `k` nearest segments within `max_radius`, closest first.
+  [[nodiscard]] std::vector<SegmentId> k_nearest_segments(Point p, std::size_t k,
+                                                          double max_radius) const;
+
+  [[nodiscard]] double cell_size() const { return cell_; }
+
+ private:
+  struct CellRange {
+    int x0, x1, y0, y1;
+  };
+
+  [[nodiscard]] CellRange cells_overlapping(Point min, Point max) const;
+  [[nodiscard]] const std::vector<SegmentId>& cell(int cx, int cy) const;
+
+  const RoadNetwork& net_;
+  double cell_{0.0};
+  Point origin_;
+  int nx_{0};
+  int ny_{0};
+  std::vector<std::vector<SegmentId>> cells_;
+  static const std::vector<SegmentId> kEmptyCell;
+};
+
+}  // namespace neat::roadnet

@@ -1,0 +1,42 @@
+// Route planning for the mobility simulator.
+//
+// Trips target a small predefined destination set while originating from
+// many distinct junctions inside the hotspot regions, so the planner caches
+// one *reverse* shortest-path tree per destination and answers every trip
+// toward it in O(route length), independent of the origin count.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+
+namespace neat::sim {
+
+/// Shortest-route planner with per-destination reverse-SSSP caching. Keeps
+/// a reference to the network; do not outlive it. Not thread safe.
+class TripPlanner {
+ public:
+  TripPlanner(const roadnet::RoadNetwork& net, roadnet::Metric metric);
+
+  /// Shortest route from `origin` to `dest` under the planner's metric, or
+  /// std::nullopt when unreachable.
+  [[nodiscard]] std::optional<roadnet::Route> plan(NodeId origin, NodeId dest);
+
+  /// True when `dest` is reachable from `origin`.
+  [[nodiscard]] bool reachable(NodeId origin, NodeId dest);
+
+  /// Number of cached reverse SSSP trees (one per distinct destination).
+  [[nodiscard]] std::size_t cached_destinations() const { return trees_.size(); }
+
+ private:
+  const roadnet::ReverseSsspTree& tree_for(NodeId dest);
+
+  const roadnet::RoadNetwork& net_;
+  roadnet::Metric metric_;
+  std::unordered_map<NodeId, std::unique_ptr<roadnet::ReverseSsspTree>> trees_;
+};
+
+}  // namespace neat::sim

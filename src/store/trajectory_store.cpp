@@ -1,0 +1,140 @@
+#include "store/trajectory_store.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat::store {
+
+TrajectoryStore::TrajectoryStore(const roadnet::RoadNetwork& net)
+    : net_(net), fragmenter_(net) {}
+
+void TrajectoryStore::insert(traj::Trajectory tr) {
+  NEAT_EXPECT(!tr.empty(), "TrajectoryStore: cannot insert an empty trajectory");
+  NEAT_EXPECT(index_of_.find(tr.id()) == index_of_.end(),
+              str_cat("TrajectoryStore: duplicate trajectory id ", tr.id().value()));
+
+  // Fragment extraction both validates the segment references and yields
+  // the traversal intervals for the segment index.
+  const std::vector<TFragment> fragments = fragmenter_.fragment(tr);
+  for (const TFragment& f : fragments) {
+    segment_index_[f.sid].push_back(Traversal{tr.id(), f.entry.t, f.exit.t});
+    ++num_traversals_;
+  }
+  index_of_.emplace(tr.id(), trajectories_.size());
+  trajectories_.push_back(std::move(tr));
+}
+
+void TrajectoryStore::insert(const traj::TrajectoryDataset& data) {
+  for (const traj::Trajectory& tr : data) insert(tr);
+}
+
+StoreStats TrajectoryStore::stats() const {
+  StoreStats st;
+  st.num_trajectories = trajectories_.size();
+  for (const traj::Trajectory& tr : trajectories_) st.num_points += tr.size();
+  st.num_traversals = num_traversals_;
+  st.num_indexed_segments = segment_index_.size();
+  return st;
+}
+
+const traj::Trajectory* TrajectoryStore::find(TrajectoryId id) const {
+  const auto it = index_of_.find(id);
+  return it == index_of_.end() ? nullptr : &trajectories_[it->second];
+}
+
+std::vector<Traversal> TrajectoryStore::traversals(SegmentId sid) const {
+  static_cast<void>(net_.segment(sid));  // bounds check
+  const auto it = segment_index_.find(sid);
+  if (it == segment_index_.end()) return {};
+  std::vector<Traversal> out = it->second;
+  std::sort(out.begin(), out.end(), [](const Traversal& a, const Traversal& b) {
+    if (a.enter_t != b.enter_t) return a.enter_t < b.enter_t;
+    return a.trid < b.trid;
+  });
+  return out;
+}
+
+std::vector<TrajectoryId> TrajectoryStore::trajectories_on(SegmentId sid, double t_begin,
+                                                           double t_end) const {
+  NEAT_EXPECT(t_begin <= t_end, "trajectories_on: empty time window");
+  std::vector<TrajectoryId> out;
+  for (const Traversal& t : traversals(sid)) {
+    if (t.exit_t >= t_begin && t.enter_t <= t_end) out.push_back(t.trid);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<TrajectoryId> TrajectoryStore::active_between(double t_begin,
+                                                          double t_end) const {
+  NEAT_EXPECT(t_begin <= t_end, "active_between: empty time window");
+  std::vector<TrajectoryId> out;
+  for (const traj::Trajectory& tr : trajectories_) {
+    if (tr.back().t >= t_begin && tr.front().t <= t_end) out.push_back(tr.id());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int TrajectoryStore::segment_netflow(SegmentId a, SegmentId b) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<TrajectoryId> on_a = trajectories_on(a, -kInf, kInf);
+  const std::vector<TrajectoryId> on_b = trajectories_on(b, -kInf, kInf);
+  int common = 0;
+  auto ia = on_a.begin();
+  auto ib = on_b.begin();
+  while (ia != on_a.end() && ib != on_b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      ++common;
+      ++ia;
+      ++ib;
+    }
+  }
+  return common;
+}
+
+traj::TrajectoryDataset TrajectoryStore::snapshot(TrajectoryId from, TrajectoryId to) const {
+  NEAT_EXPECT(from <= to, "snapshot: empty id range");
+  std::vector<const traj::Trajectory*> selected;
+  for (const traj::Trajectory& tr : trajectories_) {
+    if (from <= tr.id() && tr.id() <= to) selected.push_back(&tr);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const traj::Trajectory* a, const traj::Trajectory* b) {
+              return a->id() < b->id();
+            });
+  traj::TrajectoryDataset out;
+  for (const traj::Trajectory* tr : selected) out.add(*tr);
+  return out;
+}
+
+traj::TrajectoryDataset TrajectoryStore::snapshot() const {
+  return snapshot(TrajectoryId(std::numeric_limits<std::int64_t>::min()),
+                  TrajectoryId(std::numeric_limits<std::int64_t>::max()));
+}
+
+traj::TrajectoryDataset TrajectoryStore::snapshot_between(double t_begin,
+                                                          double t_end) const {
+  NEAT_EXPECT(t_begin <= t_end, "snapshot_between: empty time window");
+  std::vector<const traj::Trajectory*> selected;
+  for (const traj::Trajectory& tr : trajectories_) {
+    if (tr.back().t >= t_begin && tr.front().t <= t_end) selected.push_back(&tr);
+  }
+  std::sort(selected.begin(), selected.end(),
+            [](const traj::Trajectory* a, const traj::Trajectory* b) {
+              return a->id() < b->id();
+            });
+  traj::TrajectoryDataset out;
+  for (const traj::Trajectory* tr : selected) out.add(*tr);
+  return out;
+}
+
+}  // namespace neat::store

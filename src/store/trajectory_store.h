@@ -1,0 +1,106 @@
+// In-memory trajectory store with spatio-temporal indexes — the NEAT
+// server's storage substrate (paper §I cites the collecting/storing/
+// indexing/querying line of work [1-5]; §II-C has clients upload
+// trajectories to a server that the clustering application then reads).
+//
+// The store keeps trajectories immutable once inserted and maintains two
+// indexes incrementally:
+//  * a segment inverted index: segment id -> the trajectories that traverse
+//    it, with per-traversal time intervals (the primitive behind netflow
+//    queries and "who drove here when?"),
+//  * a time index over trajectory spans for window queries.
+//
+// All query results are returned in deterministic (ascending id) order.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/fragmenter.h"
+#include "roadnet/road_network.h"
+#include "traj/dataset.h"
+
+namespace neat::store {
+
+/// One traversal of a segment by a trajectory.
+struct Traversal {
+  TrajectoryId trid;
+  double enter_t{0.0};  ///< Time the object entered the segment.
+  double exit_t{0.0};   ///< Time it left (or the trajectory ended).
+};
+
+/// Store statistics.
+struct StoreStats {
+  std::size_t num_trajectories{0};
+  std::size_t num_points{0};
+  std::size_t num_traversals{0};
+  std::size_t num_indexed_segments{0};
+};
+
+/// Append-only trajectory store over one road network.
+class TrajectoryStore {
+ public:
+  /// Keeps a reference to the network; do not outlive it.
+  explicit TrajectoryStore(const roadnet::RoadNetwork& net);
+
+  /// Inserts a trajectory (validated against the network; Phase 1 fragment
+  /// extraction drives the segment index, so gap repair applies). Throws
+  /// neat::PreconditionError on duplicate ids or invalid segment
+  /// references.
+  void insert(traj::Trajectory tr);
+
+  /// Bulk insert.
+  void insert(const traj::TrajectoryDataset& data);
+
+  [[nodiscard]] std::size_t size() const { return trajectories_.size(); }
+  [[nodiscard]] bool empty() const { return trajectories_.empty(); }
+  [[nodiscard]] StoreStats stats() const;
+
+  /// Trajectory lookup by id; nullptr when absent.
+  [[nodiscard]] const traj::Trajectory* find(TrajectoryId id) const;
+
+  /// All traversals of a segment, ordered by (enter time, trajectory id).
+  [[nodiscard]] std::vector<Traversal> traversals(SegmentId sid) const;
+
+  /// Distinct trajectories that traversed `sid` with a traversal interval
+  /// intersecting [t_begin, t_end], ascending. Pass an unbounded window via
+  /// infinities for "ever".
+  [[nodiscard]] std::vector<TrajectoryId> trajectories_on(SegmentId sid, double t_begin,
+                                                          double t_end) const;
+
+  /// Distinct trajectories active (their time span intersects the window)
+  /// during [t_begin, t_end], ascending.
+  [[nodiscard]] std::vector<TrajectoryId> active_between(double t_begin,
+                                                         double t_end) const;
+
+  /// The netflow (Definition 5 applied at store level) between two road
+  /// segments: the number of trajectories that traversed both.
+  [[nodiscard]] int segment_netflow(SegmentId a, SegmentId b) const;
+
+  /// Materializes the stored trajectories whose ids are in [from, to]
+  /// (inclusive) as a dataset — feeding a clustering run on a subset.
+  [[nodiscard]] traj::TrajectoryDataset snapshot(TrajectoryId from, TrajectoryId to) const;
+
+  /// Materializes everything.
+  [[nodiscard]] traj::TrajectoryDataset snapshot() const;
+
+  /// Materializes the trajectories active during [t_begin, t_end] (their
+  /// time span intersects the window), ascending by id — rush-hour slices
+  /// for time-of-day clustering.
+  [[nodiscard]] traj::TrajectoryDataset snapshot_between(double t_begin,
+                                                         double t_end) const;
+
+ private:
+  const roadnet::RoadNetwork& net_;
+  Fragmenter fragmenter_;
+  std::vector<traj::Trajectory> trajectories_;
+  std::unordered_map<TrajectoryId, std::size_t> index_of_;
+  /// Per segment: traversal list (kept sorted on read, built append-only).
+  std::unordered_map<SegmentId, std::vector<Traversal>> segment_index_;
+  std::size_t num_traversals_{0};
+};
+
+}  // namespace neat::store

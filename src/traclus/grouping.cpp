@@ -1,0 +1,177 @@
+#include "traclus/grouping.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "traclus/segment_distance.h"
+
+namespace neat::traclus {
+
+namespace {
+
+/// Uniform grid over segment midpoints for ε-range candidate generation.
+class MidpointGrid {
+ public:
+  MidpointGrid(const std::vector<LineSeg>& segments, double cell) : cell_(cell) {
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const Point m = segments[i].midpoint();
+      const int cx = coord(m.x);
+      const int cy = coord(m.y);
+      min_x_ = std::min(min_x_, cx);
+      max_x_ = std::max(max_x_, cx);
+      min_y_ = std::min(min_y_, cy);
+      max_y_ = std::max(max_y_, cy);
+      cells_[pack(cx, cy)].push_back(i);
+    }
+  }
+
+  /// Indices of segments whose midpoint lies within `radius` of `center`
+  /// (conservative: returns the covering cell block, clamped to the
+  /// occupied extent so huge radii degrade to a full scan, not a hang).
+  void candidates(Point center, double radius, std::vector<std::size_t>& out) const {
+    out.clear();
+    if (cells_.empty()) return;
+    const double r_cells = std::ceil(radius / cell_) + 1.0;
+    const int cx = coord(center.x);
+    const int cy = coord(center.y);
+    const auto clamp_lo = [&](double v, int lo) {
+      return std::max(static_cast<double>(lo), v);
+    };
+    const auto clamp_hi = [&](double v, int hi) {
+      return std::min(static_cast<double>(hi), v);
+    };
+    const int x0 = static_cast<int>(clamp_lo(cx - r_cells, min_x_));
+    const int x1 = static_cast<int>(clamp_hi(cx + r_cells, max_x_));
+    const int y0 = static_cast<int>(clamp_lo(cy - r_cells, min_y_));
+    const int y1 = static_cast<int>(clamp_hi(cy + r_cells, max_y_));
+    for (int gy = y0; gy <= y1; ++gy) {
+      for (int gx = x0; gx <= x1; ++gx) {
+        const auto it = cells_.find(pack(gx, gy));
+        if (it == cells_.end()) continue;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] int coord(double v) const { return static_cast<int>(std::floor(v / cell_)); }
+  [[nodiscard]] static std::uint64_t pack(int x, int y) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(y));
+  }
+
+  double cell_;
+  int min_x_{std::numeric_limits<int>::max()};
+  int max_x_{std::numeric_limits<int>::min()};
+  int min_y_{std::numeric_limits<int>::max()};
+  int max_y_{std::numeric_limits<int>::min()};
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> cells_;
+};
+
+}  // namespace
+
+GroupingResult group_segments(const std::vector<LineSeg>& segments,
+                              const GroupingConfig& config) {
+  NEAT_EXPECT(config.epsilon > 0.0, "GroupingConfig: epsilon must be positive");
+  NEAT_EXPECT(config.min_lns >= 1, "GroupingConfig: MinLns must be at least 1");
+
+  GroupingResult res;
+  const std::size_t n = segments.size();
+  res.labels.assign(n, -2);  // -2: unclassified, -1: noise
+  if (n == 0) return res;
+
+  double max_len = 0.0;
+  for (const LineSeg& s : segments) max_len = std::max(max_len, s.length());
+  // Midpoint-separation bound: when the weighted distance is <= ε, the
+  // perpendicular plus parallel components are <= ε / min(w_perp, w_par),
+  // and midpoints additionally drift by at most half of each length. With a
+  // non-positive perpendicular or parallel weight no spatial bound exists,
+  // so the grid degenerates to a full scan (radius = whole plane).
+  const double w_min = std::min(config.w_perp, config.w_par);
+  const double candidate_radius =
+      w_min > 0.0 ? config.epsilon / w_min + max_len
+                  : std::numeric_limits<double>::max() / 4.0;
+  const MidpointGrid grid(segments, std::max(config.epsilon, max_len / 2.0) + 1.0);
+
+  std::vector<std::size_t> cand;
+  const auto region_query = [&](std::size_t i) {
+    std::vector<std::size_t> region;
+    grid.candidates(segments[i].midpoint(), candidate_radius, cand);
+    for (const std::size_t j : cand) {
+      if (j == i) {
+        region.push_back(j);
+        continue;
+      }
+      ++res.distance_computations;
+      const DistanceComponents d =
+          segment_distance(segments[i].s, segments[i].e, segments[j].s, segments[j].e);
+      if (d.total(config.w_perp, config.w_par, config.w_ang) <= config.epsilon) {
+        region.push_back(j);
+      }
+    }
+    std::sort(region.begin(), region.end());
+    return region;
+  };
+
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (res.labels[i] != -2) continue;
+    const std::vector<std::size_t> region = region_query(i);
+    if (region.size() < static_cast<std::size_t>(config.min_lns)) {
+      res.labels[i] = -1;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    res.labels[i] = cluster;
+    std::deque<std::size_t> frontier(region.begin(), region.end());
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop_front();
+      if (res.labels[cur] == -1) {  // border segment
+        res.labels[cur] = cluster;
+        continue;
+      }
+      if (res.labels[cur] != -2) continue;
+      res.labels[cur] = cluster;
+      const std::vector<std::size_t> sub = region_query(cur);
+      if (sub.size() >= static_cast<std::size_t>(config.min_lns)) {
+        for (const std::size_t nb : sub) {
+          if (res.labels[nb] == -2 || res.labels[nb] == -1) frontier.push_back(nb);
+        }
+      }
+    }
+  }
+
+  // Trajectory-cardinality check: a cluster must touch at least MinLns
+  // distinct trajectories (SIGMOD'07 §4.2, step 3).
+  std::vector<std::unordered_set<std::int64_t>> trajs(
+      static_cast<std::size_t>(next_cluster));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (res.labels[i] >= 0) {
+      trajs[static_cast<std::size_t>(res.labels[i])].insert(segments[i].trid.value());
+    }
+  }
+  std::vector<int> remap(static_cast<std::size_t>(next_cluster), -1);
+  int kept = 0;
+  for (int c = 0; c < next_cluster; ++c) {
+    if (trajs[static_cast<std::size_t>(c)].size() >=
+        static_cast<std::size_t>(config.min_lns)) {
+      remap[static_cast<std::size_t>(c)] = kept++;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (res.labels[i] >= 0) res.labels[i] = remap[static_cast<std::size_t>(res.labels[i])];
+  }
+  res.num_clusters = static_cast<std::size_t>(kept);
+  for (const int label : res.labels) {
+    if (label < 0) ++res.noise_segments;
+  }
+  return res;
+}
+
+}  // namespace neat::traclus

@@ -1,0 +1,42 @@
+// TraClus grouping phase (SIGMOD'07 §4.2): DBSCAN over line segments.
+//
+// A segment is a core segment when at least MinLns segments (itself
+// included) lie within ε under the TraClus segment distance. Clusters are
+// density-connected sets of segments; clusters touching fewer than MinLns
+// distinct trajectories are discarded (the paper's trajectory-cardinality
+// check). A uniform grid over segment midpoints generates ε-range
+// candidates; every candidate still pays the full distance evaluation, so
+// the algorithm's distance-computation-bound cost shape is preserved.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "traclus/partition.h"
+
+namespace neat::traclus {
+
+/// Grouping parameters (the paper's ε and MinLns).
+struct GroupingConfig {
+  double epsilon{10.0};
+  int min_lns{3};
+  double w_perp{1.0};
+  double w_par{1.0};
+  double w_ang{1.0};
+};
+
+/// Result of the grouping phase.
+struct GroupingResult {
+  /// cluster id per input segment; -1 marks noise.
+  std::vector<int> labels;
+  std::size_t num_clusters{0};
+  std::size_t noise_segments{0};
+  std::size_t distance_computations{0};
+};
+
+/// Runs the segment DBSCAN. Deterministic (segments processed in index
+/// order). Throws neat::PreconditionError on non-positive ε or MinLns < 1.
+[[nodiscard]] GroupingResult group_segments(const std::vector<LineSeg>& segments,
+                                            const GroupingConfig& config);
+
+}  // namespace neat::traclus

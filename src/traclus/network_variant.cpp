@@ -1,0 +1,104 @@
+#include "traclus/network_variant.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "core/refiner.h"
+#include "roadnet/shortest_path.h"
+
+namespace neat::traclus {
+
+NetworkVariantResult run_network_variant(const roadnet::RoadNetwork& net,
+                                         const std::vector<BaseCluster>& base_clusters,
+                                         const NetworkVariantConfig& config) {
+  NEAT_EXPECT(config.epsilon > 0.0, "NetworkVariantConfig: epsilon must be positive");
+  NEAT_EXPECT(config.min_lns >= 1, "NetworkVariantConfig: MinLns must be at least 1");
+
+  NetworkVariantResult res;
+  const std::size_t n = base_clusters.size();
+  if (n == 0) return res;
+
+  roadnet::NodeDistanceOracle oracle(net);
+  const double bound = config.bound_searches_at_epsilon
+                           ? config.epsilon
+                           : std::numeric_limits<double>::infinity();
+
+  // Modified endpoint-Hausdorff distance between two base clusters: their
+  // representative segments' endpoints under the network metric.
+  const auto hausdorff = [&](std::size_t i, std::size_t j) {
+    const roadnet::Segment& a = net.segment(base_clusters[i].sid());
+    const roadnet::Segment& b = net.segment(base_clusters[j].sid());
+    const double d11 = oracle.distance(a.a, b.a, bound);
+    const double d12 = oracle.distance(a.a, b.b, bound);
+    const double d21 = oracle.distance(a.b, b.a, bound);
+    const double d22 = oracle.distance(a.b, b.b, bound);
+    return hausdorff_from_parts(d11, d12, d21, d22);
+  };
+
+  std::unordered_map<std::uint64_t, double> cache;
+  const auto pair_distance = [&](std::size_t i, std::size_t j) {
+    std::uint64_t key = (i < j) ? i * n + j : j * n + i;
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    ++res.distance_computations;
+    const double d = hausdorff(i, j);
+    cache.emplace(key, d);
+    return d;
+  };
+
+  const auto region_query = [&](std::size_t i) {
+    std::vector<std::size_t> region{i};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i && pair_distance(i, j) <= config.epsilon) region.push_back(j);
+    }
+    std::sort(region.begin(), region.end());
+    return region;
+  };
+
+  // Plain DBSCAN over base clusters, processed in index order.
+  std::vector<int> label(n, -2);
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (label[i] != -2) continue;
+    const std::vector<std::size_t> region = region_query(i);
+    if (region.size() < static_cast<std::size_t>(config.min_lns)) {
+      label[i] = -1;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    label[i] = cluster;
+    std::deque<std::size_t> frontier(region.begin(), region.end());
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop_front();
+      if (label[cur] == -1) {
+        label[cur] = cluster;
+        continue;
+      }
+      if (label[cur] != -2) continue;
+      label[cur] = cluster;
+      const std::vector<std::size_t> sub = region_query(cur);
+      if (sub.size() >= static_cast<std::size_t>(config.min_lns)) {
+        for (const std::size_t nb : sub) {
+          if (label[nb] == -2 || label[nb] == -1) frontier.push_back(nb);
+        }
+      }
+    }
+  }
+
+  res.clusters.resize(static_cast<std::size_t>(next_cluster));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (label[i] >= 0) {
+      res.clusters[static_cast<std::size_t>(label[i])].push_back(i);
+    } else {
+      ++res.noise_clusters;
+    }
+  }
+  res.sp_computations = oracle.computations();
+  return res;
+}
+
+}  // namespace neat::traclus

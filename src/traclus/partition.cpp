@@ -1,0 +1,89 @@
+#include "traclus/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "traclus/segment_distance.h"
+
+namespace neat::traclus {
+
+namespace {
+
+/// log2 clamped away from -infinity: distances below one metre carry no
+/// encoding cost. (The standard TraClus implementation clamps the same way.)
+double log2_cost(double value) { return std::log2(std::max(value, 1.0)); }
+
+/// MDL cost of the hypothesis segment pts[lo] -> pts[hi] covering the
+/// original sub-path: L(H) + L(D|H), where L(D|H) sums, per covered
+/// segment, the encoding cost of its perpendicular and angular deviation
+/// from the hypothesis (SIGMOD'07 Definition, Section 4.1).
+double mdl_par(const std::vector<Point>& pts, std::size_t lo, std::size_t hi) {
+  double cost = log2_cost(distance(pts[lo], pts[hi]));
+  for (std::size_t k = lo; k < hi; ++k) {
+    cost += log2_cost(mdl_perpendicular(pts[lo], pts[hi], pts[k], pts[k + 1]));
+    cost += log2_cost(mdl_angular(pts[lo], pts[hi], pts[k], pts[k + 1]));
+  }
+  return cost;
+}
+
+/// MDL cost of keeping the sub-path verbatim: L(H) only (L(D|H) = 0).
+double mdl_nopar(const std::vector<Point>& pts, std::size_t lo, std::size_t hi) {
+  double cost = 0.0;
+  for (std::size_t k = lo; k < hi; ++k) cost += log2_cost(distance(pts[k], pts[k + 1]));
+  return cost;
+}
+
+}  // namespace
+
+std::vector<std::size_t> characteristic_indices(const std::vector<Point>& pts) {
+  std::vector<std::size_t> out;
+  if (pts.size() <= 2) {
+    for (std::size_t i = 0; i < pts.size(); ++i) out.push_back(i);
+    return out;
+  }
+  // Approximate algorithm of SIGMOD'07 Figure 8.
+  out.push_back(0);
+  std::size_t start = 0;
+  std::size_t length = 1;
+  while (start + length < pts.size()) {
+    const std::size_t cur = start + length;
+    if (mdl_par(pts, start, cur) > mdl_nopar(pts, start, cur)) {
+      out.push_back(cur - 1);
+      start = cur - 1;
+      length = 1;
+    } else {
+      ++length;
+    }
+  }
+  out.push_back(pts.size() - 1);
+  // `cur - 1` can equal `start` when a single hop already costs more to
+  // approximate than to keep; dedupe to keep indices strictly increasing.
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<LineSeg> partition_dataset(const traj::TrajectoryDataset& data, bool use_mdl) {
+  std::vector<LineSeg> segments;
+  for (const traj::Trajectory& tr : data) {
+    std::vector<Point> pts;
+    pts.reserve(tr.size());
+    for (const traj::Location& loc : tr.points()) pts.push_back(loc.pos);
+
+    std::vector<std::size_t> marks;
+    if (use_mdl) {
+      marks = characteristic_indices(pts);
+    } else {
+      marks.resize(pts.size());
+      for (std::size_t i = 0; i < pts.size(); ++i) marks[i] = i;
+    }
+    for (std::size_t i = 1; i < marks.size(); ++i) {
+      const Point a = pts[marks[i - 1]];
+      const Point b = pts[marks[i]];
+      if (distance_sq(a, b) == 0.0) continue;
+      segments.push_back(LineSeg{a, b, tr.id()});
+    }
+  }
+  return segments;
+}
+
+}  // namespace neat::traclus

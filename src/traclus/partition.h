@@ -1,0 +1,41 @@
+// TraClus partitioning phase (SIGMOD'07 §4.1): approximate MDL partitioning.
+//
+// Each trajectory is scanned for *characteristic points* — points where the
+// moving object changes behaviour — by comparing the MDL cost of replacing
+// the sub-path with one line segment (MDL_par) against keeping it verbatim
+// (MDL_nopar). The trajectory is then replaced by the line segments between
+// consecutive characteristic points.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+#include "traj/dataset.h"
+
+namespace neat::traclus {
+
+/// A directed line segment produced by partitioning, tagged with its source
+/// trajectory.
+struct LineSeg {
+  Point s;
+  Point e;
+  TrajectoryId trid;
+
+  [[nodiscard]] double length() const { return distance(s, e); }
+  [[nodiscard]] Point midpoint() const { return lerp(s, e, 0.5); }
+};
+
+/// Indices of the characteristic points of a point sequence (always includes
+/// 0 and size-1). Sequences shorter than 2 points return all indices.
+[[nodiscard]] std::vector<std::size_t> characteristic_indices(const std::vector<Point>& pts);
+
+/// Partitions every trajectory of the dataset into line segments between
+/// consecutive characteristic points. Zero-length segments are skipped.
+/// When `use_mdl` is false every consecutive point pair becomes a segment
+/// (no simplification) — the degenerate baseline.
+[[nodiscard]] std::vector<LineSeg> partition_dataset(const traj::TrajectoryDataset& data,
+                                                     bool use_mdl = true);
+
+}  // namespace neat::traclus

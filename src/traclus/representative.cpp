@@ -1,0 +1,73 @@
+#include "traclus/representative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace neat::traclus {
+
+std::vector<Point> representative_trajectory(const std::vector<LineSeg>& members,
+                                             int min_lns, double gamma) {
+  NEAT_EXPECT(min_lns >= 1, "representative_trajectory: min_lns must be positive");
+  NEAT_EXPECT(gamma >= 0.0, "representative_trajectory: gamma must be non-negative");
+  std::vector<Point> rep;
+  if (members.empty()) return rep;
+
+  // Average direction vector; members pointing against the running average
+  // are flipped so opposite travel directions reinforce instead of cancel.
+  Point avg{0.0, 0.0};
+  for (const LineSeg& m : members) {
+    const Point v = m.e - m.s;
+    avg = dot(avg, v) >= 0.0 ? avg + v : avg - v;
+  }
+  const double len = norm(avg);
+  if (len == 0.0) return rep;
+  const Point ux{avg.x / len, avg.y / len};   // X' axis
+  const Point uy{-ux.y, ux.x};                // Y' axis
+
+  const auto to_rot = [&](Point p) { return Point{dot(p, ux), dot(p, uy)}; };
+  const auto from_rot = [&](Point p) { return Point{p.x * ux.x + p.y * uy.x,
+                                                    p.x * ux.y + p.y * uy.y}; };
+
+  // Rotated members with s.x <= e.x.
+  struct RotSeg {
+    Point s, e;
+  };
+  std::vector<RotSeg> rot;
+  rot.reserve(members.size());
+  std::vector<double> xs;
+  xs.reserve(members.size() * 2);
+  for (const LineSeg& m : members) {
+    RotSeg r{to_rot(m.s), to_rot(m.e)};
+    if (r.s.x > r.e.x) std::swap(r.s, r.e);
+    xs.push_back(r.s.x);
+    xs.push_back(r.e.x);
+    rot.push_back(r);
+  }
+  std::sort(xs.begin(), xs.end());
+
+  double prev_x = -std::numeric_limits<double>::infinity();
+  for (const double x : xs) {
+    if (x - prev_x < gamma) continue;
+    // Segments whose X' extent covers the sweep position.
+    int count = 0;
+    double y_sum = 0.0;
+    for (const RotSeg& r : rot) {
+      if (r.s.x - 1e-9 <= x && x <= r.e.x + 1e-9) {
+        ++count;
+        const double span = r.e.x - r.s.x;
+        const double t = span > 0.0 ? (x - r.s.x) / span : 0.0;
+        y_sum += r.s.y + t * (r.e.y - r.s.y);
+      }
+    }
+    if (count >= min_lns) {
+      rep.push_back(from_rot({x, y_sum / count}));
+      prev_x = x;
+    }
+  }
+  return rep;
+}
+
+}  // namespace neat::traclus

@@ -1,0 +1,24 @@
+// TraClus representative trajectories (SIGMOD'07 §4.3).
+//
+// For each cluster, the average direction vector defines a rotated axis X′;
+// a sweep along X′ computes, at every segment endpoint where at least
+// MinLns member segments overlap, the average of the crossing points —
+// yielding the representative polyline of the cluster.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "traclus/partition.h"
+
+namespace neat::traclus {
+
+/// Computes the representative trajectory of one cluster of segments.
+/// `min_lns` is the sweep's minimum overlap count and `gamma` the minimum
+/// X′ spacing between consecutive representative points. Returns an empty
+/// polyline when the overlap never reaches `min_lns`.
+[[nodiscard]] std::vector<Point> representative_trajectory(
+    const std::vector<LineSeg>& members, int min_lns, double gamma);
+
+}  // namespace neat::traclus

@@ -1,0 +1,81 @@
+#include "traclus/segment_distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace neat::traclus {
+
+namespace {
+
+/// Projection scalar of point p onto the (possibly degenerate) line through
+/// a -> b, unclamped.
+double projection_coefficient(Point p, Point a, Point b) {
+  const Point ab = b - a;
+  const double len_sq = norm_sq(ab);
+  if (len_sq == 0.0) return 0.0;
+  return dot(p - a, ab) / len_sq;
+}
+
+/// Distance from p to its unclamped projection on the line a -> b.
+double line_distance(Point p, Point a, Point b) {
+  const double u = projection_coefficient(p, a, b);
+  const Point proj = a + (b - a) * u;
+  return distance(p, proj);
+}
+
+double perpendicular_component(Point si, Point ei, Point sj, Point ej) {
+  const double l1 = line_distance(sj, si, ei);
+  const double l2 = line_distance(ej, si, ei);
+  if (l1 + l2 == 0.0) return 0.0;
+  return (l1 * l1 + l2 * l2) / (l1 + l2);  // Lehmer mean, per the paper
+}
+
+double parallel_component(Point si, Point ei, Point sj, Point ej) {
+  // SIGMOD'07 Figure 5: l_par1 is the distance from the projection of sj to
+  // the base start si; l_par2 from the projection of ej to the base end ei;
+  // the parallel distance is their minimum.
+  const double u1 = projection_coefficient(sj, si, ei);
+  const double u2 = projection_coefficient(ej, si, ei);
+  const double base_len = distance(si, ei);
+  const double l1 = std::fabs(u1) * base_len;
+  const double l2 = std::fabs(1.0 - u2) * base_len;
+  return std::min(l1, l2);
+}
+
+double angular_component(Point si, Point ei, Point sj, Point ej) {
+  const Point v1 = ei - si;
+  const Point v2 = ej - sj;
+  const double len2 = norm(v2);
+  if (len2 == 0.0) return 0.0;
+  const double len1 = norm(v1);
+  if (len1 == 0.0) return 0.0;
+  const double cos_theta = dot(v1, v2) / (len1 * len2);
+  if (cos_theta < 0.0) return len2;  // pointing apart: full length
+  const double sin_sq = std::max(0.0, 1.0 - cos_theta * cos_theta);
+  return len2 * std::sqrt(sin_sq);
+}
+
+}  // namespace
+
+DistanceComponents segment_distance(Point si, Point ei, Point sj, Point ej) {
+  // The longer segment becomes the base Li.
+  if (distance_sq(si, ei) < distance_sq(sj, ej)) {
+    std::swap(si, sj);
+    std::swap(ei, ej);
+  }
+  DistanceComponents d;
+  d.perpendicular = perpendicular_component(si, ei, sj, ej);
+  d.parallel = parallel_component(si, ei, sj, ej);
+  d.angular = angular_component(si, ei, sj, ej);
+  return d;
+}
+
+double mdl_perpendicular(Point si, Point ei, Point sj, Point ej) {
+  return perpendicular_component(si, ei, sj, ej);
+}
+
+double mdl_angular(Point si, Point ei, Point sj, Point ej) {
+  return angular_component(si, ei, sj, ej);
+}
+
+}  // namespace neat::traclus

@@ -1,0 +1,41 @@
+// The TraClus line-segment distance (Lee, Han, Whang — SIGMOD'07, §3.2).
+//
+// The distance between two directed line segments is a weighted sum of three
+// Euclidean components measured after designating the *longer* segment as
+// the base: perpendicular distance (Lehmer mean of the two projection
+// distances), parallel distance (smaller overhang beyond the projections),
+// and angular distance (opposing length scaled by the sine of the angle;
+// the full length when the segments point in opposite directions).
+#pragma once
+
+#include "common/geometry.h"
+
+namespace neat::traclus {
+
+/// The three distance components between two line segments.
+struct DistanceComponents {
+  double perpendicular{0.0};
+  double parallel{0.0};
+  double angular{0.0};
+
+  /// Weighted total distance.
+  [[nodiscard]] double total(double w_perp = 1.0, double w_par = 1.0,
+                             double w_ang = 1.0) const {
+    return w_perp * perpendicular + w_par * parallel + w_ang * angular;
+  }
+};
+
+/// Computes the TraClus distance components between segments (si -> ei) and
+/// (sj -> ej). Symmetric in the two segments (the longer one is always the
+/// base). Degenerate (zero-length) inputs are handled as points.
+[[nodiscard]] DistanceComponents segment_distance(Point si, Point ei, Point sj, Point ej);
+
+/// Perpendicular distance component only (used by the MDL partitioning,
+/// where the base is the hypothetical segment (si -> ei), *not* the longer
+/// one).
+[[nodiscard]] double mdl_perpendicular(Point si, Point ei, Point sj, Point ej);
+
+/// Angular distance component with (si -> ei) as the base.
+[[nodiscard]] double mdl_angular(Point si, Point ei, Point sj, Point ej);
+
+}  // namespace neat::traclus

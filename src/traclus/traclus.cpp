@@ -1,0 +1,50 @@
+#include "traclus/traclus.h"
+
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+
+namespace neat::traclus {
+
+Result run(const traj::TrajectoryDataset& data, const Config& config) {
+  Result res;
+  Stopwatch watch;
+
+  res.segments = partition_dataset(data, config.use_mdl);
+  res.partition_s = watch.elapsed_seconds();
+
+  watch.restart();
+  GroupingConfig gcfg;
+  gcfg.epsilon = config.epsilon;
+  gcfg.min_lns = config.min_lns;
+  gcfg.w_perp = config.w_perp;
+  gcfg.w_par = config.w_par;
+  gcfg.w_ang = config.w_ang;
+  const GroupingResult groups = group_segments(res.segments, gcfg);
+  res.noise_segments = groups.noise_segments;
+  res.distance_computations = groups.distance_computations;
+  res.grouping_s = watch.elapsed_seconds();
+
+  watch.restart();
+  res.clusters.resize(groups.num_clusters);
+  for (std::size_t i = 0; i < res.segments.size(); ++i) {
+    const int label = groups.labels[i];
+    if (label >= 0) res.clusters[static_cast<std::size_t>(label)].segment_indices.push_back(i);
+  }
+  for (Cluster& cluster : res.clusters) {
+    std::vector<LineSeg> members;
+    members.reserve(cluster.segment_indices.size());
+    std::unordered_set<std::int64_t> trids;
+    for (const std::size_t si : cluster.segment_indices) {
+      members.push_back(res.segments[si]);
+      trids.insert(res.segments[si].trid.value());
+    }
+    cluster.trajectory_cardinality = static_cast<int>(trids.size());
+    cluster.representative = representative_trajectory(members, config.min_lns, config.gamma);
+    cluster.representative_length = polyline_length(cluster.representative);
+  }
+  res.representative_s = watch.elapsed_seconds();
+  return res;
+}
+
+}  // namespace neat::traclus

@@ -1,0 +1,56 @@
+// Top-level TraClus baseline (Lee, Han, Whang — SIGMOD'07), the
+// "conventional density-based approach" NEAT is compared against in the
+// paper's §IV-C.
+//
+// Usage:
+//   traclus::Config cfg{.epsilon = 10.0, .min_lns = 30};
+//   traclus::Result res = traclus::run(dataset, cfg);
+#pragma once
+
+#include <vector>
+
+#include "traclus/grouping.h"
+#include "traclus/partition.h"
+#include "traclus/representative.h"
+#include "traj/dataset.h"
+
+namespace neat::traclus {
+
+/// Full TraClus configuration.
+struct Config {
+  double epsilon{10.0};    ///< Segment DBSCAN ε (metres).
+  int min_lns{30};         ///< Segment DBSCAN MinLns.
+  double w_perp{1.0};      ///< Perpendicular distance weight.
+  double w_par{1.0};       ///< Parallel distance weight.
+  double w_ang{1.0};       ///< Angular distance weight.
+  bool use_mdl{true};      ///< MDL partitioning (false: raw point pairs).
+  double gamma{25.0};      ///< Representative sweep spacing (metres).
+};
+
+/// One discovered cluster.
+struct Cluster {
+  std::vector<std::size_t> segment_indices;  ///< Into Result::segments.
+  std::vector<Point> representative;         ///< Representative trajectory.
+  double representative_length{0.0};         ///< Polyline length (metres).
+  int trajectory_cardinality{0};             ///< Distinct trajectories touched.
+};
+
+/// Full TraClus output with phase timings and work counters.
+struct Result {
+  std::vector<LineSeg> segments;  ///< Partitioning output.
+  std::vector<Cluster> clusters;
+  std::size_t noise_segments{0};
+  std::size_t distance_computations{0};
+  double partition_s{0.0};
+  double grouping_s{0.0};
+  double representative_s{0.0};
+
+  [[nodiscard]] double total_s() const {
+    return partition_s + grouping_s + representative_s;
+  }
+};
+
+/// Runs the full TraClus pipeline: partition, group, representatives.
+[[nodiscard]] Result run(const traj::TrajectoryDataset& data, const Config& config);
+
+}  // namespace neat::traclus

@@ -1,0 +1,49 @@
+#include "traj/dataset.h"
+
+#include <unordered_set>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat::traj {
+
+void TrajectoryDataset::add(Trajectory tr) {
+  NEAT_EXPECT(!tr.empty(), "cannot add an empty trajectory to a dataset");
+  for (const Trajectory& existing : trajectories_) {
+    if (existing.id() == tr.id()) {
+      throw PreconditionError(str_cat("duplicate trajectory id: ", tr.id().value()));
+    }
+  }
+  trajectories_.push_back(std::move(tr));
+}
+
+const Trajectory& TrajectoryDataset::operator[](std::size_t i) const {
+  NEAT_EXPECT(i < trajectories_.size(), "dataset index out of range");
+  return trajectories_[i];
+}
+
+std::size_t TrajectoryDataset::total_points() const {
+  std::size_t total = 0;
+  for (const Trajectory& tr : trajectories_) total += tr.size();
+  return total;
+}
+
+DatasetStats TrajectoryDataset::stats() const {
+  DatasetStats st;
+  st.num_trajectories = trajectories_.size();
+  st.num_points = total_points();
+  if (trajectories_.empty()) return st;
+  double length_sum = 0.0;
+  double duration_sum = 0.0;
+  for (const Trajectory& tr : trajectories_) {
+    length_sum += tr.path_length();
+    duration_sum += tr.duration();
+  }
+  const auto n = static_cast<double>(trajectories_.size());
+  st.avg_points_per_trajectory = static_cast<double>(st.num_points) / n;
+  st.avg_path_length_m = length_sum / n;
+  st.avg_duration_s = duration_sum / n;
+  return st;
+}
+
+}  // namespace neat::traj

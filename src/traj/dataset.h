@@ -1,0 +1,45 @@
+// Collections of trajectories plus dataset-level statistics (Table II shape).
+#pragma once
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace neat::traj {
+
+/// Aggregate statistics of a dataset, as reported in the paper's Table II.
+struct DatasetStats {
+  std::size_t num_trajectories{0};
+  std::size_t num_points{0};  ///< Total location samples across trajectories.
+  double avg_points_per_trajectory{0.0};
+  double avg_path_length_m{0.0};
+  double avg_duration_s{0.0};
+};
+
+/// An ordered collection of trajectories. Trajectory ids need not be dense
+/// but must be unique (checked on insert).
+class TrajectoryDataset {
+ public:
+  TrajectoryDataset() = default;
+
+  /// Adds a trajectory. Throws neat::PreconditionError for duplicate ids or
+  /// empty trajectories.
+  void add(Trajectory tr);
+
+  [[nodiscard]] std::size_t size() const { return trajectories_.size(); }
+  [[nodiscard]] bool empty() const { return trajectories_.empty(); }
+  [[nodiscard]] const Trajectory& operator[](std::size_t i) const;
+
+  [[nodiscard]] auto begin() const { return trajectories_.begin(); }
+  [[nodiscard]] auto end() const { return trajectories_.end(); }
+
+  /// Total number of location samples across all trajectories.
+  [[nodiscard]] std::size_t total_points() const;
+
+  [[nodiscard]] DatasetStats stats() const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace neat::traj

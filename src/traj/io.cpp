@@ -1,0 +1,71 @@
+#include "traj/io.h"
+
+#include <fstream>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat::traj {
+
+void save_dataset(const TrajectoryDataset& data, std::ostream& out) {
+  CsvWriter writer(out);
+  for (const Trajectory& tr : data) {
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      const Location& loc = tr.point(i);
+      writer.write_row({std::to_string(tr.id().value()), std::to_string(i),
+                        std::to_string(loc.sid.value()), format_fixed(loc.pos.x, 3),
+                        format_fixed(loc.pos.y, 3), format_fixed(loc.t, 3),
+                        loc.junction_point ? "1" : "0"});
+    }
+  }
+}
+
+void save_dataset(const TrajectoryDataset& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error(str_cat("cannot open '", path, "' for writing"));
+  save_dataset(data, out);
+}
+
+TrajectoryDataset load_dataset(std::istream& in) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  TrajectoryDataset data;
+  Trajectory current;
+  bool has_current = false;
+  std::size_t line = 0;
+  while (reader.read_row(row)) {
+    ++line;
+    if (row.empty() || (row.size() == 1 && trim(row[0]).empty())) continue;
+    if (row.size() != 7) {
+      throw ParseError(str_cat("line ", line, ": location row needs 7 fields"));
+    }
+    const auto trid = TrajectoryId(parse_int(row[0]));
+    Location loc;
+    loc.sid = SegmentId(static_cast<std::int32_t>(parse_int(row[2])));
+    loc.pos = {parse_double(row[3]), parse_double(row[4])};
+    loc.t = parse_double(row[5]);
+    loc.junction_point = parse_int(row[6]) != 0;
+    if (!has_current || current.id() != trid) {
+      if (has_current) data.add(std::move(current));
+      current = Trajectory(trid);
+      has_current = true;
+    }
+    try {
+      current.append(loc);
+    } catch (const PreconditionError& e) {
+      throw ParseError(str_cat("line ", line, ": ", e.what()));
+    }
+  }
+  if (has_current) data.add(std::move(current));
+  return data;
+}
+
+TrajectoryDataset load_dataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error(str_cat("cannot open '", path, "' for reading"));
+  return load_dataset(in);
+}
+
+}  // namespace neat::traj

@@ -1,0 +1,28 @@
+// CSV persistence for trajectory datasets.
+//
+// Format: one row per location sample, grouped by trajectory and ordered by
+// sequence number:
+//   <trid>,<seq>,<sid>,<x>,<y>,<t>,<junction 0|1>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traj/dataset.h"
+
+namespace neat::traj {
+
+/// Writes the dataset to a stream.
+void save_dataset(const TrajectoryDataset& data, std::ostream& out);
+
+/// Writes the dataset to a file. Throws neat::Error when the file cannot be
+/// opened.
+void save_dataset(const TrajectoryDataset& data, const std::string& path);
+
+/// Reads a dataset from a stream. Throws neat::ParseError on malformed data.
+[[nodiscard]] TrajectoryDataset load_dataset(std::istream& in);
+
+/// Reads a dataset from a file. Throws neat::Error / neat::ParseError.
+[[nodiscard]] TrajectoryDataset load_dataset(const std::string& path);
+
+}  // namespace neat::traj

@@ -1,0 +1,70 @@
+#include "traj/simplify.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace neat::traj {
+
+namespace {
+
+/// Recursive Douglas–Peucker over pts[lo..hi] (inclusive); marks kept
+/// indices in `keep`.
+void dp_recurse(const std::vector<Point>& pts, std::size_t lo, std::size_t hi,
+                double tolerance, std::vector<bool>& keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  std::size_t worst_index = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = point_segment_distance(pts[i], pts[lo], pts[hi]);
+    if (d > worst) {
+      worst = d;
+      worst_index = i;
+    }
+  }
+  if (worst > tolerance) {
+    keep[worst_index] = true;
+    dp_recurse(pts, lo, worst_index, tolerance, keep);
+    dp_recurse(pts, worst_index, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> douglas_peucker_indices(const std::vector<Point>& pts,
+                                                 double tolerance_m) {
+  NEAT_EXPECT(tolerance_m >= 0.0, "douglas_peucker: tolerance must be non-negative");
+  std::vector<std::size_t> out;
+  if (pts.empty()) return out;
+  if (pts.size() == 1) return {0};
+  std::vector<bool> keep(pts.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  dp_recurse(pts, 0, pts.size() - 1, tolerance_m, keep);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Trajectory simplify(const Trajectory& tr, double tolerance_m) {
+  NEAT_EXPECT(tolerance_m >= 0.0, "simplify: tolerance must be non-negative");
+  if (tr.size() <= 2) return tr;
+  std::vector<Point> pts;
+  pts.reserve(tr.size());
+  for (const Location& loc : tr.points()) pts.push_back(loc.pos);
+  const std::vector<std::size_t> kept = douglas_peucker_indices(pts, tolerance_m);
+
+  std::vector<bool> keep(tr.size(), false);
+  for (const std::size_t i : kept) keep[i] = true;
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    if (tr.point(i).junction_point) keep[i] = true;  // Phase 1 anchors survive
+  }
+  Trajectory out(tr.id());
+  for (std::size_t i = 0; i < tr.size(); ++i) {
+    if (keep[i]) out.append(tr.point(i));
+  }
+  return out;
+}
+
+}  // namespace neat::traj

@@ -1,0 +1,30 @@
+// Trajectory simplification (Douglas–Peucker).
+//
+// A preprocessing utility for storage/transmission-constrained deployments
+// (the NEAT client/server architecture of §II-C uploads trajectories from
+// mobile devices): thins raw samples while bounding the geometric error.
+// System-inserted junction points are always preserved, so simplification
+// composes safely with Phase 1.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "traj/trajectory.h"
+
+namespace neat::traj {
+
+/// Indices of the points kept by Douglas–Peucker with the given tolerance
+/// (metres). The first and last indices are always kept; the result is
+/// strictly increasing. Tolerance 0 keeps everything except exactly
+/// collinear interiors.
+[[nodiscard]] std::vector<std::size_t> douglas_peucker_indices(
+    const std::vector<Point>& pts, double tolerance_m);
+
+/// Simplifies a trajectory: keeps Douglas–Peucker-selected samples plus
+/// every `junction_point` location. Throws neat::PreconditionError on a
+/// negative tolerance.
+[[nodiscard]] Trajectory simplify(const Trajectory& tr, double tolerance_m);
+
+}  // namespace neat::traj

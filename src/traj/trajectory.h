@@ -1,0 +1,70 @@
+// Trajectories of mobile objects travelling in a road network (paper §II).
+//
+// A road-network location is (sid, x, y, t): the road segment the object is
+// on, its planar position, and the sample timestamp. A trajectory is a
+// time-ordered sequence of locations; the temporal order encodes the
+// direction of movement. Locations inserted later by the system (junction
+// points added during t-fragment extraction, or by the map matcher) are
+// flagged `junction_point` so they remain distinguishable from raw samples,
+// as the paper requires.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/ids.h"
+
+namespace neat::traj {
+
+/// One recorded (or inserted) road-network location.
+struct Location {
+  SegmentId sid;               ///< Road segment the object resides on.
+  Point pos;                   ///< Planar position in metres.
+  double t{0.0};               ///< Timestamp in seconds.
+  bool junction_point{false};  ///< True for system-inserted junction points.
+};
+
+/// A time-ordered sequence of locations of one mobile object.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(TrajectoryId id) : id_(id) {}
+  Trajectory(TrajectoryId id, std::vector<Location> points);
+
+  [[nodiscard]] TrajectoryId id() const { return id_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// Appends a location; throws neat::PreconditionError when its timestamp
+  /// precedes the current last point (time order is the class invariant).
+  void append(const Location& loc);
+
+  [[nodiscard]] const Location& point(std::size_t i) const;
+  [[nodiscard]] const Location& front() const;
+  [[nodiscard]] const Location& back() const;
+  [[nodiscard]] const std::vector<Location>& points() const { return points_; }
+
+  /// Total Euclidean path length over the sample positions (metres).
+  [[nodiscard]] double path_length() const;
+
+  /// Duration between first and last sample (seconds); 0 when < 2 points.
+  [[nodiscard]] double duration() const;
+
+ private:
+  TrajectoryId id_;
+  std::vector<Location> points_;
+};
+
+/// A raw positioning sample before map matching: no segment id yet.
+struct RawPoint {
+  Point pos;
+  double t{0.0};
+};
+
+/// A raw GPS trace (input to the map matcher).
+struct RawTrace {
+  TrajectoryId id;
+  std::vector<RawPoint> points;
+};
+
+}  // namespace neat::traj

@@ -1,0 +1,138 @@
+// Tests for the A* router (equivalence with Dijkstra — property sweep),
+// multi-target oracle queries, and on-segment location distances.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "roadnet/builder.h"
+#include "roadnet/generators.h"
+#include "roadnet/shortest_path.h"
+#include "test_util.h"
+
+namespace neat::roadnet {
+namespace {
+
+class AStarEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AStarEquivalence, MatchesDijkstraOnRandomCities) {
+  CityParams p;
+  p.rows = 14;
+  p.cols = 14;
+  p.spacing_m = 110.0;
+  p.oneway_probability = 0.1;
+  p.seed = static_cast<std::uint64_t>(GetParam()) + 31;
+  const RoadNetwork net = make_city(p);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 555);
+  const auto n = static_cast<std::int64_t>(net.node_count());
+  for (int k = 0; k < 25; ++k) {
+    const auto s = NodeId(static_cast<std::int32_t>(rng.uniform_int(0, n - 1)));
+    const auto t = NodeId(static_cast<std::int32_t>(rng.uniform_int(0, n - 1)));
+    for (const Metric metric : {Metric::kDistance, Metric::kTravelTime}) {
+      const auto dij = shortest_route(net, s, t, metric);
+      const auto ast = astar_route(net, s, t, metric);
+      ASSERT_EQ(dij.has_value(), ast.has_value()) << "reachability must agree";
+      if (dij) {
+        const double want = metric == Metric::kDistance ? dij->length : dij->travel_time;
+        const double got = metric == Metric::kDistance ? ast->length : ast->travel_time;
+        EXPECT_NEAR(got, want, 1e-6) << "A* must return an optimal route";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AStarEquivalence, ::testing::Range(0, 6));
+
+TEST(AStar, TrivialCases) {
+  const RoadNetwork net = testutil::line_network(4);
+  const auto self = astar_route(net, NodeId(2), NodeId(2), Metric::kDistance);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_TRUE(self->edges.empty());
+  const auto full = astar_route(net, NodeId(0), NodeId(4), Metric::kDistance);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_DOUBLE_EQ(full->length, 400.0);
+}
+
+TEST(DistanceToAny, PicksClosestTarget) {
+  const RoadNetwork net = testutil::line_network(10);
+  NodeDistanceOracle oracle(net);
+  const std::vector<NodeId> targets{NodeId(3), NodeId(8)};
+  EXPECT_DOUBLE_EQ(oracle.distance_to_any(NodeId(0), targets), 300.0);
+  EXPECT_DOUBLE_EQ(oracle.distance_to_any(NodeId(10), targets), 200.0);
+  EXPECT_DOUBLE_EQ(oracle.distance_to_any(NodeId(5), targets), 200.0);
+  EXPECT_DOUBLE_EQ(oracle.distance_to_any(NodeId(3), targets), 0.0);
+}
+
+TEST(DistanceToAny, EmptyTargetsAndBound) {
+  const RoadNetwork net = testutil::line_network(10);
+  NodeDistanceOracle oracle(net);
+  EXPECT_EQ(oracle.distance_to_any(NodeId(0), {}), kInfDistance);
+  const std::vector<NodeId> targets{NodeId(9)};
+  EXPECT_EQ(oracle.distance_to_any(NodeId(0), targets, 800.0), kInfDistance);
+  EXPECT_DOUBLE_EQ(oracle.distance_to_any(NodeId(0), targets, 900.0), 900.0);
+}
+
+TEST(DistanceToAny, MatchesMinOfSingleQueries) {
+  const RoadNetwork net = make_grid(7, 7, 90.0);
+  NodeDistanceOracle oracle(net);
+  Rng rng(11);
+  for (int k = 0; k < 20; ++k) {
+    const auto s = NodeId(static_cast<std::int32_t>(rng.uniform_int(0, 48)));
+    std::vector<NodeId> targets;
+    for (int i = 0; i < 4; ++i) {
+      targets.push_back(NodeId(static_cast<std::int32_t>(rng.uniform_int(0, 48))));
+    }
+    double want = kInfDistance;
+    for (const NodeId t : targets) want = std::min(want, oracle.distance(s, t));
+    EXPECT_NEAR(oracle.distance_to_any(s, targets), want, 1e-9);
+  }
+}
+
+TEST(LocationDistance, SameSegment) {
+  const RoadNetwork net = testutil::line_network(3);
+  EXPECT_DOUBLE_EQ(
+      location_distance(net, {SegmentId(1), 20.0}, {SegmentId(1), 70.0}), 50.0);
+  EXPECT_DOUBLE_EQ(
+      location_distance(net, {SegmentId(1), 70.0}, {SegmentId(1), 20.0}), 50.0);
+  EXPECT_DOUBLE_EQ(
+      location_distance(net, {SegmentId(1), 30.0}, {SegmentId(1), 30.0}), 0.0);
+}
+
+TEST(LocationDistance, AcrossSegments) {
+  // Line of 100 m segments: location at offset 80 on segment 0 and offset
+  // 30 on segment 2 are 20 + 100 + 30 = 150 m apart.
+  const RoadNetwork net = testutil::line_network(4);
+  EXPECT_DOUBLE_EQ(
+      location_distance(net, {SegmentId(0), 80.0}, {SegmentId(2), 30.0}), 150.0);
+  // Adjacent segments: 80->100 on seg0 plus 0->30 on seg1 = 50.
+  EXPECT_DOUBLE_EQ(
+      location_distance(net, {SegmentId(0), 80.0}, {SegmentId(1), 30.0}), 50.0);
+}
+
+TEST(LocationDistance, ClampsOffsets) {
+  const RoadNetwork net = testutil::line_network(4);
+  EXPECT_DOUBLE_EQ(
+      location_distance(net, {SegmentId(0), -10.0}, {SegmentId(0), 250.0}), 100.0);
+}
+
+TEST(LocationDistance, EuclideanLowerBoundProperty) {
+  const RoadNetwork net = make_grid(8, 8, 75.0);
+  NodeDistanceOracle oracle(net);
+  Rng rng(77);
+  const auto n_seg = static_cast<std::int64_t>(net.segment_count());
+  for (int k = 0; k < 60; ++k) {
+    const NetworkLocation a{SegmentId(static_cast<std::int32_t>(rng.uniform_int(0, n_seg - 1))),
+                            rng.uniform(0.0, 75.0)};
+    const NetworkLocation b{SegmentId(static_cast<std::int32_t>(rng.uniform_int(0, n_seg - 1))),
+                            rng.uniform(0.0, 75.0)};
+    const double dn = location_distance(net, a, b, oracle);
+    const Point pa = net.point_on_segment(a.sid, a.offset);
+    const Point pb = net.point_on_segment(b.sid, b.offset);
+    EXPECT_LE(distance(pa, pb), dn + 1e-9) << "ELB must hold for locations";
+    // Symmetry.
+    EXPECT_NEAR(location_distance(net, b, a, oracle), dn, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace neat::roadnet

@@ -1,0 +1,131 @@
+// Tests for the top-level NeatClusterer: mode selection (base/flow/opt),
+// end-to-end determinism, timing bookkeeping, config validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/clusterer.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+#include "test_util.h"
+
+namespace neat {
+namespace {
+
+traj::TrajectoryDataset grid_dataset(const roadnet::RoadNetwork& net, std::size_t objects,
+                                     std::uint64_t seed) {
+  const sim::SimConfig cfg = sim::default_config(net, 2, 3);
+  return sim::MobilitySimulator(net, cfg).generate(objects, seed);
+}
+
+TEST(NeatClusterer, ValidatesConfigEagerly) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  Config cfg;
+  cfg.flow.wq = -1.0;
+  EXPECT_THROW(NeatClusterer(net, cfg), PreconditionError);
+  cfg = Config{};
+  cfg.refine.epsilon = -5.0;
+  EXPECT_THROW(NeatClusterer(net, cfg), PreconditionError);
+}
+
+TEST(NeatClusterer, BaseModeRunsOnlyPhase1) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(6, 6, 100.0);
+  const traj::TrajectoryDataset data = grid_dataset(net, 20, 3);
+  Config cfg;
+  cfg.mode = Mode::kBase;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  EXPECT_FALSE(res.base_clusters.empty());
+  EXPECT_GT(res.num_fragments, 0u);
+  EXPECT_TRUE(res.flow_clusters.empty());
+  EXPECT_TRUE(res.final_clusters.empty());
+  EXPECT_GT(res.timing.phase1_s, 0.0);
+  EXPECT_DOUBLE_EQ(res.timing.phase2_s, 0.0);
+  EXPECT_DOUBLE_EQ(res.timing.phase3_s, 0.0);
+}
+
+TEST(NeatClusterer, FlowModeRunsPhases1And2) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(6, 6, 100.0);
+  const traj::TrajectoryDataset data = grid_dataset(net, 20, 3);
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  EXPECT_FALSE(res.base_clusters.empty());
+  EXPECT_FALSE(res.flow_clusters.empty());
+  EXPECT_TRUE(res.final_clusters.empty());
+  EXPECT_GT(res.effective_min_card, 0.0);
+}
+
+TEST(NeatClusterer, OptModeRunsAllPhases) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 100.0);
+  const traj::TrajectoryDataset data = grid_dataset(net, 30, 3);
+  Config cfg;
+  cfg.refine.epsilon = 500.0;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  EXPECT_FALSE(res.base_clusters.empty());
+  EXPECT_FALSE(res.flow_clusters.empty());
+  EXPECT_FALSE(res.final_clusters.empty());
+  // Refinement can only reduce (or keep) the number of groups.
+  EXPECT_LE(res.final_clusters.size(), res.flow_clusters.size());
+  EXPECT_GE(res.timing.total_s(), res.timing.phase1_s);
+}
+
+TEST(NeatClusterer, DeterministicEndToEnd) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 110.0);
+  const traj::TrajectoryDataset data = grid_dataset(net, 40, 9);
+  Config cfg;
+  cfg.refine.epsilon = 400.0;
+  const NeatClusterer clusterer(net, cfg);
+  const Result a = clusterer.run(data);
+  const Result b = clusterer.run(data);
+  ASSERT_EQ(a.flow_clusters.size(), b.flow_clusters.size());
+  for (std::size_t i = 0; i < a.flow_clusters.size(); ++i) {
+    EXPECT_EQ(a.flow_clusters[i].route, b.flow_clusters[i].route);
+  }
+  ASSERT_EQ(a.final_clusters.size(), b.final_clusters.size());
+  for (std::size_t i = 0; i < a.final_clusters.size(); ++i) {
+    EXPECT_EQ(a.final_clusters[i].flows, b.final_clusters[i].flows);
+  }
+}
+
+TEST(NeatClusterer, EmptyDataset) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(4, 4, 100.0);
+  Config cfg;
+  const Result res = NeatClusterer(net, cfg).run(traj::TrajectoryDataset{});
+  EXPECT_TRUE(res.base_clusters.empty());
+  EXPECT_TRUE(res.flow_clusters.empty());
+  EXPECT_TRUE(res.final_clusters.empty());
+  EXPECT_EQ(res.num_fragments, 0u);
+}
+
+TEST(NeatClusterer, HotspotTrafficYieldsMajorFlows) {
+  // The headline behaviour (paper Figure 3): trips between a hotspot and a
+  // few destinations concentrate into a handful of long flow clusters that
+  // cover most trajectories.
+  const roadnet::RoadNetwork net = roadnet::make_grid(12, 12, 100.0);
+  const traj::TrajectoryDataset data = grid_dataset(net, 80, 17);
+  Config cfg;
+  cfg.refine.epsilon = 600.0;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  ASSERT_FALSE(res.flow_clusters.empty());
+  EXPECT_LT(res.flow_clusters.size(), 40u) << "flows must be far fewer than trajectories";
+  // The longest flow should span many segments (a major route, not noise).
+  double longest = 0.0;
+  for (const FlowCluster& f : res.flow_clusters) longest = std::max(longest, f.route_length);
+  EXPECT_GT(longest, 500.0);
+  EXPECT_LE(res.final_clusters.size(), res.flow_clusters.size());
+}
+
+TEST(NeatClusterer, InstrumentationConsistency) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 100.0);
+  const traj::TrajectoryDataset data = grid_dataset(net, 40, 23);
+  Config cfg;
+  cfg.refine.epsilon = 400.0;
+  cfg.refine.use_elb = true;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  // Four Dijkstra runs per evaluated pair.
+  EXPECT_EQ(res.sp_computations, 4u * res.pairs_evaluated);
+}
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,156 @@
+// Tests for the evaluation utilities: metrics, text tables, experiment env.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/table.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+#include "test_util.h"
+
+namespace neat::eval {
+namespace {
+
+TEST(Metrics, FlowRouteStats) {
+  std::vector<FlowCluster> flows(3);
+  flows[0].route_length = 100.0;
+  flows[1].route_length = 300.0;
+  flows[2].route_length = 200.0;
+  const RouteLengthStats st = flow_route_stats(flows);
+  EXPECT_EQ(st.count, 3u);
+  EXPECT_DOUBLE_EQ(st.avg_m, 200.0);
+  EXPECT_DOUBLE_EQ(st.max_m, 300.0);
+  const RouteLengthStats empty = flow_route_stats({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.avg_m, 0.0);
+}
+
+TEST(Metrics, TraclusRouteStats) {
+  std::vector<traclus::Cluster> cs(2);
+  cs[0].representative_length = 50.0;
+  cs[1].representative_length = 150.0;
+  const RouteLengthStats st = traclus_route_stats(cs);
+  EXPECT_DOUBLE_EQ(st.avg_m, 100.0);
+  EXPECT_DOUBLE_EQ(st.max_m, 150.0);
+}
+
+TEST(Metrics, CoverageOnFig1) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  traj::TrajectoryDataset data;
+  for (traj::Trajectory& tr : testutil::fig1_trajectories(net)) data.add(std::move(tr));
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  cfg.flow.min_card = 0.0;  // keep everything
+  const Result res = NeatClusterer(net, cfg).run(data);
+  EXPECT_DOUBLE_EQ(fragment_coverage(res), 1.0);
+  EXPECT_DOUBLE_EQ(trajectory_coverage(res, data.size()), 1.0);
+
+  Config strict = cfg;
+  strict.flow.min_card = 100.0;  // filter everything
+  const Result res2 = NeatClusterer(net, strict).run(data);
+  EXPECT_DOUBLE_EQ(fragment_coverage(res2), 0.0);
+  EXPECT_DOUBLE_EQ(trajectory_coverage(res2, data.size()), 0.0);
+}
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Every printed row has the same width.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  std::getline(lines, line);
+  width = line.size();
+  std::getline(lines, line);  // rule
+  while (std::getline(lines, line)) EXPECT_EQ(line.size(), width);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TextTable, WriteCsv) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2,3"});
+  const std::string path = "/tmp/neat_eval_test_table.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,\"2,3\"");
+  std::filesystem::remove(path);
+  EXPECT_THROW(t.write_csv("/nonexistent/dir/t.csv"), Error);
+}
+
+TEST(Report, ContainsAllSections) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 110.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(30, 5);
+  Config cfg;
+  cfg.refine.epsilon = 500.0;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  const std::string report = report_string(net, res, data.size());
+  EXPECT_NE(report.find("phase 1:"), std::string::npos);
+  EXPECT_NE(report.find("dense-core"), std::string::npos);
+  EXPECT_NE(report.find("phase 2:"), std::string::npos);
+  EXPECT_NE(report.find("coverage:"), std::string::npos);
+  EXPECT_NE(report.find("phase 3:"), std::string::npos);
+  EXPECT_NE(report.find("timings:"), std::string::npos);
+  EXPECT_NE(report.find("#1:"), std::string::npos);
+}
+
+TEST(Report, OptionsControlSections) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 110.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(20, 5);
+  Config cfg;
+  cfg.mode = Mode::kBase;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  ReportOptions opts;
+  opts.include_timings = false;
+  const std::string report = report_string(net, res, data.size(), opts);
+  EXPECT_EQ(report.find("timings:"), std::string::npos);
+  EXPECT_EQ(report.find("phase 2:"), std::string::npos) << "base mode has no phase 2";
+  EXPECT_NE(report.find("phase 1:"), std::string::npos);
+}
+
+TEST(ExperimentEnv, ScaledObjectsFloorsAtTen) {
+  const ExperimentEnv& env = ExperimentEnv::instance();
+  EXPECT_GE(env.scaled_objects(500), 10u);
+  EXPECT_GE(env.scaled_objects(5000), env.scaled_objects(500));
+}
+
+TEST(ExperimentEnv, DatasetsAreCachedAndDeterministic) {
+  ExperimentEnv& env = ExperimentEnv::instance();
+  const traj::TrajectoryDataset& a = env.dataset("ATL", 500);
+  const traj::TrajectoryDataset& b = env.dataset("ATL", 500);
+  EXPECT_EQ(&a, &b) << "same dataset object must be returned from the cache";
+  EXPECT_GT(a.total_points(), 0u);
+  const roadnet::RoadNetwork& net = env.network("ATL");
+  EXPECT_GT(net.segment_count(), 0u);
+  EXPECT_FALSE(env.sim_config("ATL").hotspots.empty());
+}
+
+}  // namespace
+}  // namespace neat::eval

@@ -1,0 +1,380 @@
+// Tests for NEAT Phase 2 — flow cluster formation: merging-selectivity
+// weight presets (Definitions 9–10), β-domination (the paper's §III-B.2
+// example), minCard filtering, bidirectional expansion, and determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/flow_builder.h"
+#include "core/fragmenter.h"
+#include "roadnet/builder.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+#include "test_util.h"
+
+namespace neat {
+namespace {
+
+Phase1Output phase1(const roadnet::RoadNetwork& net, const traj::TrajectoryDataset& data) {
+  return Fragmenter(net).build_base_clusters(data);
+}
+
+traj::TrajectoryDataset fig1_dataset(const roadnet::RoadNetwork& net) {
+  traj::TrajectoryDataset data;
+  for (traj::Trajectory& tr : testutil::fig1_trajectories(net)) data.add(std::move(tr));
+  return data;
+}
+
+TEST(FlowConfigValidation, RejectsBadWeightsAndBeta) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const std::vector<BaseCluster> empty;
+  FlowConfig cfg;
+  cfg.wq = -1.0;
+  EXPECT_THROW(FlowBuilder(net, empty, cfg), PreconditionError);
+  cfg = FlowConfig{};
+  cfg.wq = cfg.wk = cfg.wv = 0.0;
+  EXPECT_THROW(FlowBuilder(net, empty, cfg), PreconditionError);
+  cfg = FlowConfig{};
+  cfg.beta = 0.5;
+  EXPECT_THROW(FlowBuilder(net, empty, cfg), PreconditionError);
+}
+
+TEST(FlowBuilder, Fig1MaxFlowMergesS1WithS2) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const Phase1Output p1 = phase1(net, fig1_dataset(net));
+  FlowConfig cfg;  // (wq, wk, wv) = (1, 0, 0): pure maxFlow-neighbor
+  cfg.min_card = 0.0;
+  const Phase2Output out = FlowBuilder(net, p1.base_clusters, cfg).build();
+  ASSERT_EQ(out.flows.size(), 3u);
+  // Flow 0 grew from the dense-core S1 and merged its maxFlow-neighbor S2.
+  std::vector<SegmentId> route0 = out.flows[0].route;
+  std::sort(route0.begin(), route0.end());
+  EXPECT_EQ(route0, (std::vector<SegmentId>{SegmentId(0), SegmentId(1)}));
+  EXPECT_EQ(out.flows[0].cardinality(), 5);
+  // The remaining base clusters have no alive f-neighbors: singleton flows.
+  EXPECT_EQ(out.flows[1].route.size(), 1u);
+  EXPECT_EQ(out.flows[2].route.size(), 1u);
+}
+
+TEST(FlowBuilder, Fig1RouteIsValidAndOriented) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const Phase1Output p1 = phase1(net, fig1_dataset(net));
+  FlowConfig cfg;
+  cfg.min_card = 0.0;
+  const Phase2Output out = FlowBuilder(net, p1.base_clusters, cfg).build();
+  const FlowCluster& flow = out.flows[0];
+  ASSERT_EQ(flow.junctions.size(), flow.route.size() + 1);
+  for (std::size_t i = 0; i < flow.route.size(); ++i) {
+    EXPECT_TRUE(net.is_endpoint(flow.route[i], flow.junctions[i]));
+    EXPECT_TRUE(net.is_endpoint(flow.route[i], flow.junctions[i + 1]));
+  }
+  EXPECT_DOUBLE_EQ(flow.route_length, 200.0);  // S1 + S2, 100 m each
+}
+
+TEST(FlowBuilder, AutoMinCardIsAverageCardinality) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const Phase1Output p1 = phase1(net, fig1_dataset(net));
+  FlowConfig cfg;  // min_card < 0: dataset-adaptive default
+  const Phase2Output out = FlowBuilder(net, p1.base_clusters, cfg).build();
+  // Flows: {S1,S2} card 5, {S4} card 2, {S3} card 1 -> average 8/3.
+  EXPECT_NEAR(out.effective_min_card, 8.0 / 3.0, 1e-9);
+  ASSERT_EQ(out.flows.size(), 1u);
+  EXPECT_EQ(out.flows[0].cardinality(), 5);
+  EXPECT_EQ(out.filtered_flows.size(), 2u);
+}
+
+TEST(FlowBuilder, ExplicitMinCardFilter) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const Phase1Output p1 = phase1(net, fig1_dataset(net));
+  FlowConfig cfg;
+  cfg.min_card = 2.0;
+  const Phase2Output out = FlowBuilder(net, p1.base_clusters, cfg).build();
+  EXPECT_EQ(out.flows.size(), 2u);      // cards 5 and 2 survive
+  EXPECT_EQ(out.filtered_flows.size(), 1u);  // card 1 filtered
+  EXPECT_DOUBLE_EQ(out.effective_min_card, 2.0);
+}
+
+TEST(FlowBuilder, EveryBaseClusterAssignedExactlyOnce) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const Phase1Output p1 = phase1(net, fig1_dataset(net));
+  FlowConfig cfg;
+  const Phase2Output out = FlowBuilder(net, p1.base_clusters, cfg).build();
+  std::vector<std::size_t> seen;
+  for (const auto* flows : {&out.flows, &out.filtered_flows}) {
+    for (const FlowCluster& f : *flows) {
+      for (const std::size_t m : f.members) seen.push_back(m);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::size_t> want(p1.base_clusters.size());
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] = i;
+  EXPECT_EQ(seen, want);
+}
+
+// --- weight presets ---------------------------------------------------------
+
+// A junction with two competing continuations: B has the stronger netflow,
+// C the higher density and speed. Weight presets must steer the choice.
+class WeightPresets : public ::testing::Test {
+ protected:
+  WeightPresets() {
+    roadnet::RoadNetworkBuilder b;
+    const NodeId n0 = b.add_node({0, 0});
+    const NodeId n1 = b.add_node({100, 0});
+    const NodeId n2 = b.add_node({200, 0});
+    const NodeId n3 = b.add_node({100, 100});
+    b.add_segment(n0, n1, 10.0);  // A (sid 0)
+    b.add_segment(n1, n2, 5.0);   // B (sid 1), slow
+    b.add_segment(n1, n3, 20.0);  // C (sid 2), fast
+    net_ = b.build();
+
+    std::int64_t trid = 0;
+    // 5 trips A -> B: f(A, B) = 5, d(B) = 5.
+    for (int i = 0; i < 5; ++i) {
+      data_.add(testutil::make_path_trajectory(net_, ++trid, {n0, n1, n2}));
+    }
+    // 1 trip A -> C: f(A, C) = 1.
+    data_.add(testutil::make_path_trajectory(net_, ++trid, {n0, n1, n3}));
+    // 8 C-only trips: d(C) = 9 > d(B).
+    for (int i = 0; i < 8; ++i) {
+      data_.add(testutil::make_path_trajectory(net_, ++trid, {n1, n3}));
+    }
+    // 11 A-only trips so A is the dense-core: d(A) = 17.
+    for (int i = 0; i < 11; ++i) {
+      data_.add(testutil::make_path_trajectory(net_, ++trid, {n0, n1}));
+    }
+  }
+
+  SegmentId second_segment_of_first_flow(const FlowConfig& cfg) const {
+    const Phase1Output p1 = phase1(net_, data_);
+    EXPECT_EQ(p1.base_clusters.front().sid(), SegmentId(0)) << "A must be the dense-core";
+    FlowConfig with_all = cfg;
+    with_all.min_card = 0.0;
+    const Phase2Output out = FlowBuilder(net_, p1.base_clusters, with_all).build();
+    for (const FlowCluster& f : out.flows) {
+      if (f.route.size() >= 2) {
+        // The non-A segment of the dense-core flow.
+        return f.route.front() == SegmentId(0) ? f.route[1] : f.route.front();
+      }
+    }
+    return SegmentId::invalid();
+  }
+
+  roadnet::RoadNetwork net_;
+  traj::TrajectoryDataset data_;
+};
+
+TEST_F(WeightPresets, PureFlowWeightPicksMaxFlowNeighbor) {
+  FlowConfig cfg;
+  cfg.wq = 1.0;
+  cfg.wk = 0.0;
+  cfg.wv = 0.0;
+  EXPECT_EQ(second_segment_of_first_flow(cfg), SegmentId(1));  // B
+}
+
+TEST_F(WeightPresets, PureDensityWeightPicksDensestNeighbor) {
+  FlowConfig cfg;
+  cfg.wq = 0.0;
+  cfg.wk = 1.0;
+  cfg.wv = 0.0;
+  EXPECT_EQ(second_segment_of_first_flow(cfg), SegmentId(2));  // C
+}
+
+TEST_F(WeightPresets, PureSpeedWeightPicksFastestNeighbor) {
+  FlowConfig cfg;
+  cfg.wq = 0.0;
+  cfg.wk = 0.0;
+  cfg.wv = 1.0;
+  EXPECT_EQ(second_segment_of_first_flow(cfg), SegmentId(2));  // C (20 m/s)
+}
+
+TEST_F(WeightPresets, SelectivityFactorsHandComputed) {
+  const Phase1Output p1 = phase1(net_, data_);
+  const BaseCluster* a = nullptr;
+  const BaseCluster* bc = nullptr;
+  const BaseCluster* c = nullptr;
+  for (const BaseCluster& cl : p1.base_clusters) {
+    if (cl.sid() == SegmentId(0)) a = &cl;
+    if (cl.sid() == SegmentId(1)) bc = &cl;
+    if (cl.sid() == SegmentId(2)) c = &cl;
+  }
+  ASSERT_TRUE(a != nullptr && bc != nullptr && c != nullptr);
+  const std::vector<const BaseCluster*> hood{bc, c};
+  const SelectivityFactors fb = selectivity_factors(net_, *a, *bc, hood);
+  const SelectivityFactors fc = selectivity_factors(net_, *a, *c, hood);
+  // q = f(A, X) / |PTr(A)|; |PTr(A)| = 17 trips.
+  EXPECT_NEAR(fb.q, 5.0 / 17.0, 1e-12);
+  EXPECT_NEAR(fc.q, 1.0 / 17.0, 1e-12);
+  // k = d(X) / (d(A) + d(B) + d(C)) = d(X) / 31.
+  EXPECT_NEAR(fb.k, 5.0 / 31.0, 1e-12);
+  EXPECT_NEAR(fc.k, 9.0 / 31.0, 1e-12);
+  // v = speed(X) / (speed(B) + speed(C)) = speed(X) / 25.
+  EXPECT_NEAR(fb.v, 5.0 / 25.0, 1e-12);
+  EXPECT_NEAR(fc.v, 20.0 / 25.0, 1e-12);
+  // SF with normalized equal weights.
+  FlowConfig cfg;
+  cfg.wq = cfg.wk = cfg.wv = 1.0 / 3.0;
+  EXPECT_NEAR(fb.sf(cfg), (fb.q + fb.k + fb.v) / 3.0, 1e-12);
+}
+
+// --- β-domination: the paper's worked example -------------------------------
+
+// Base cluster S has f-neighbors S1, S2 with f(S,S1)=5, f(S,S2)=2 and a
+// dominant mutual netflow f(S1,S2)=50. With β <= 10 the pair is removed and
+// S stays alone; S1 and S2 then form their own flow (§III-B.2).
+class BetaDomination : public ::testing::Test {
+ protected:
+  BetaDomination() {
+    roadnet::RoadNetworkBuilder b;
+    const NodeId n0 = b.add_node({0, 0});
+    const NodeId n1 = b.add_node({100, 0});
+    const NodeId n2 = b.add_node({200, 50});
+    const NodeId n3 = b.add_node({200, -50});
+    b.add_segment(n0, n1, 10.0);  // S  (sid 0)
+    b.add_segment(n1, n2, 10.0);  // S1 (sid 1)
+    b.add_segment(n1, n3, 10.0);  // S2 (sid 2)
+    net_ = b.build();
+
+    std::int64_t trid = 0;
+    for (int i = 0; i < 5; ++i) {  // f(S, S1) = 5
+      data_.add(testutil::make_path_trajectory(net_, ++trid, {NodeId(0), NodeId(1), NodeId(2)}));
+    }
+    for (int i = 0; i < 2; ++i) {  // f(S, S2) = 2
+      data_.add(testutil::make_path_trajectory(net_, ++trid, {NodeId(0), NodeId(1), NodeId(3)}));
+    }
+    for (int i = 0; i < 50; ++i) {  // f(S1, S2) = 50
+      data_.add(testutil::make_path_trajectory(net_, ++trid, {NodeId(2), NodeId(1), NodeId(3)}));
+    }
+    for (int i = 0; i < 60; ++i) {  // make S the dense-core: d(S) = 67
+      data_.add(testutil::make_path_trajectory(net_, ++trid, {NodeId(0), NodeId(1)}));
+    }
+  }
+
+  roadnet::RoadNetwork net_;
+  traj::TrajectoryDataset data_;
+};
+
+TEST_F(BetaDomination, FiniteBetaSplitsDominantPairIntoOwnFlow) {
+  const Phase1Output p1 = phase1(net_, data_);
+  ASSERT_EQ(p1.base_clusters.front().sid(), SegmentId(0)) << "S must be the dense-core";
+  FlowConfig cfg;
+  cfg.beta = 5.0;  // 50 / 5 = 10 >= 5: dominated
+  cfg.min_card = 0.0;
+  const Phase2Output out = FlowBuilder(net_, p1.base_clusters, cfg).build();
+  ASSERT_EQ(out.flows.size(), 2u);
+  EXPECT_EQ(out.flows[0].route, (std::vector<SegmentId>{SegmentId(0)}));  // S alone
+  std::vector<SegmentId> second = out.flows[1].route;
+  std::sort(second.begin(), second.end());
+  EXPECT_EQ(second, (std::vector<SegmentId>{SegmentId(1), SegmentId(2)}));
+}
+
+TEST_F(BetaDomination, InfiniteBetaMissesTheDominantFlow) {
+  const Phase1Output p1 = phase1(net_, data_);
+  FlowConfig cfg;  // beta = +inf: domination disabled
+  cfg.min_card = 0.0;
+  const Phase2Output out = FlowBuilder(net_, p1.base_clusters, cfg).build();
+  // S greedily absorbs its maxFlow-neighbor S1, so the dominant S1-S2
+  // stream (f=50) is cut apart — precisely the failure mode §III-B.2 warns
+  // about. S2 attaches at the now-interior junction n1 and stays alone.
+  ASSERT_EQ(out.flows.size(), 2u);
+  std::vector<SegmentId> first = out.flows[0].route;
+  std::sort(first.begin(), first.end());
+  EXPECT_EQ(first, (std::vector<SegmentId>{SegmentId(0), SegmentId(1)}));
+  EXPECT_EQ(out.flows[1].route, (std::vector<SegmentId>{SegmentId(2)}));
+}
+
+TEST_F(BetaDomination, LargeFiniteBetaDoesNotTrigger) {
+  const Phase1Output p1 = phase1(net_, data_);
+  FlowConfig cfg;
+  cfg.beta = 11.0;  // ratio is 10 < 11: not dominated
+  cfg.min_card = 0.0;
+  const Phase2Output out = FlowBuilder(net_, p1.base_clusters, cfg).build();
+  // Same greedy outcome as beta = +infinity.
+  ASSERT_EQ(out.flows.size(), 2u);
+  std::vector<SegmentId> first = out.flows[0].route;
+  std::sort(first.begin(), first.end());
+  EXPECT_EQ(first, (std::vector<SegmentId>{SegmentId(0), SegmentId(1)}));
+}
+
+// --- expansion and determinism ----------------------------------------------
+
+TEST(FlowBuilder, ExpandsBothEndsFromMiddleDenseCore) {
+  const roadnet::RoadNetwork net = testutil::line_network(5);
+  traj::TrajectoryDataset data;
+  std::int64_t trid = 0;
+  const std::vector<NodeId> all{NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4),
+                                NodeId(5)};
+  for (int i = 0; i < 4; ++i) {
+    data.add(testutil::make_path_trajectory(net, ++trid, all));
+  }
+  // Extra traffic on the middle segment makes it the dense-core.
+  for (int i = 0; i < 3; ++i) {
+    data.add(testutil::make_path_trajectory(net, ++trid, {NodeId(2), NodeId(3)}));
+  }
+  const Phase1Output p1 = phase1(net, data);
+  EXPECT_EQ(p1.base_clusters.front().sid(), SegmentId(2));
+  FlowConfig cfg;
+  cfg.min_card = 0.0;
+  const Phase2Output out = FlowBuilder(net, p1.base_clusters, cfg).build();
+  ASSERT_EQ(out.flows.size(), 1u);
+  // One flow covering the whole line, route in travel order.
+  EXPECT_EQ(out.flows[0].route,
+            (std::vector<SegmentId>{SegmentId(0), SegmentId(1), SegmentId(2), SegmentId(3),
+                                    SegmentId(4)}));
+  EXPECT_EQ(out.flows[0].junctions.front(), NodeId(0));
+  EXPECT_EQ(out.flows[0].junctions.back(), NodeId(5));
+}
+
+TEST(FlowBuilder, DeterministicOnSimulatedData) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 120.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset data = simulator.generate(40, 21);
+  const Phase1Output p1 = phase1(net, data);
+  FlowConfig cfg;
+  const Phase2Output a = FlowBuilder(net, p1.base_clusters, cfg).build();
+  const Phase2Output b = FlowBuilder(net, p1.base_clusters, cfg).build();
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].route, b.flows[i].route);
+    EXPECT_EQ(a.flows[i].participants, b.flows[i].participants);
+  }
+}
+
+TEST(FlowBuilder, RoutesAreAlwaysValidOnSimulatedData) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(9, 9, 110.0);
+  const sim::SimConfig scfg = sim::default_config(net, 3, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset data = simulator.generate(60, 5);
+  const Phase1Output p1 = phase1(net, data);
+  FlowConfig cfg;
+  const Phase2Output out = FlowBuilder(net, p1.base_clusters, cfg).build();
+  ASSERT_FALSE(out.flows.empty());
+  for (const auto* flows : {&out.flows, &out.filtered_flows}) {
+    for (const FlowCluster& f : *flows) {
+      ASSERT_EQ(f.junctions.size(), f.route.size() + 1);
+      for (std::size_t i = 0; i + 1 < f.route.size(); ++i) {
+        EXPECT_TRUE(net.are_adjacent(f.route[i], f.route[i + 1]))
+            << "representative route must be a network route (Definition 8)";
+      }
+      double length = 0.0;
+      for (const SegmentId sid : f.route) length += net.segment_length(sid);
+      EXPECT_NEAR(length, f.route_length, 1e-6);
+      EXPECT_TRUE(std::is_sorted(f.participants.begin(), f.participants.end()));
+    }
+  }
+}
+
+TEST(FlowBuilder, EmptyInputGivesEmptyOutput) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const std::vector<BaseCluster> none;
+  FlowConfig cfg;
+  const Phase2Output out = FlowBuilder(net, none, cfg).build();
+  EXPECT_TRUE(out.flows.empty());
+  EXPECT_TRUE(out.filtered_flows.empty());
+  EXPECT_DOUBLE_EQ(out.effective_min_card, 0.0);
+}
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,177 @@
+// Tests for the full-route Hausdorff distance mode of Phase 3 (the
+// refinement the paper's "first prototype" endpoint distance points
+// toward), plus cross-mode properties: ELB soundness in both modes and
+// ε-monotonicity of the refinement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/clusterer.h"
+#include "core/refiner.h"
+#include "roadnet/builder.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+#include "test_util.h"
+
+namespace neat {
+namespace {
+
+FlowCluster make_flow(const roadnet::RoadNetwork& net, const std::vector<SegmentId>& route,
+                      NodeId first_junction) {
+  FlowCluster f;
+  f.route = route;
+  f.junctions.push_back(first_junction);
+  NodeId cur = first_junction;
+  for (const SegmentId sid : route) {
+    cur = net.other_endpoint(sid, cur);
+    f.junctions.push_back(cur);
+    f.route_length += net.segment_length(sid);
+  }
+  return f;
+}
+
+std::vector<FlowCluster> simulated_flows(const roadnet::RoadNetwork& net,
+                                         std::size_t objects, std::uint64_t seed) {
+  const sim::SimConfig scfg = sim::default_config(net, 3, 3);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(objects, seed);
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  cfg.flow.min_card = 1.0;
+  return NeatClusterer(net, cfg).run(data).flow_clusters;
+}
+
+TEST(FullRouteDistance, DistinguishesSharedEndpointsFromSharedRoutes) {
+  // Two L-shaped flows on a grid share both endpoints but run along
+  // opposite sides of the block: endpoint distance 0, full-route distance
+  // equal to the detour between the far corners.
+  const roadnet::RoadNetwork net = roadnet::make_grid(3, 3, 100.0);
+  // Nodes: row-major; flow A: 0 -> 1 -> 2 -> 5 -> 8; flow B: 0 -> 3 -> 6 -> 7 -> 8.
+  const auto seg = [&](int a, int b) { return testutil::find_segment(net, NodeId(a), NodeId(b)); };
+  const FlowCluster a =
+      make_flow(net, {seg(0, 1), seg(1, 2), seg(2, 5), seg(5, 8)}, NodeId(0));
+  const FlowCluster b =
+      make_flow(net, {seg(0, 3), seg(3, 6), seg(6, 7), seg(7, 8)}, NodeId(0));
+
+  RefineConfig endpoint_cfg;
+  endpoint_cfg.epsilon = 1000.0;
+  endpoint_cfg.distance_mode = FlowDistanceMode::kEndpoints;
+  RefineConfig route_cfg = endpoint_cfg;
+  route_cfg.distance_mode = FlowDistanceMode::kFullRoute;
+
+  EXPECT_DOUBLE_EQ(Refiner(net, endpoint_cfg).flow_distance(a, b), 0.0);
+  // Corner 2 of flow A is 2 grid hops from flow B's nearest junction.
+  EXPECT_DOUBLE_EQ(Refiner(net, route_cfg).flow_distance(a, b), 200.0);
+}
+
+TEST(FullRouteDistance, ZeroForIdenticalRoutes) {
+  const roadnet::RoadNetwork net = testutil::line_network(5);
+  const FlowCluster f = make_flow(net, {SegmentId(1), SegmentId(2)}, NodeId(1));
+  RefineConfig cfg;
+  cfg.distance_mode = FlowDistanceMode::kFullRoute;
+  EXPECT_DOUBLE_EQ(Refiner(net, cfg).flow_distance(f, f), 0.0);
+}
+
+TEST(FullRouteDistance, SymmetricAndAtLeastEndpointDistanceIsFalse) {
+  // Note: the full-route value is NOT always >= the endpoint value — the
+  // endpoint Hausdorff can exceed it when route interiors interleave — but
+  // symmetry must always hold.
+  const roadnet::RoadNetwork net = testutil::line_network(12);
+  const FlowCluster a = make_flow(net, {SegmentId(0), SegmentId(1), SegmentId(2)}, NodeId(0));
+  const FlowCluster b = make_flow(net, {SegmentId(4), SegmentId(5)}, NodeId(4));
+  RefineConfig cfg;
+  cfg.epsilon = 5000.0;
+  cfg.distance_mode = FlowDistanceMode::kFullRoute;
+  const Refiner refiner(net, cfg);
+  EXPECT_DOUBLE_EQ(refiner.flow_distance(a, b), refiner.flow_distance(b, a));
+}
+
+TEST(FullRouteDistance, HandComputedOnLine) {
+  // a covers segments 0-2 (junctions 0..3), b covers 5-6 (junctions 5..7).
+  // Directed a->b: worst junction is 0 at distance 500. Directed b->a:
+  // worst is 7 at distance 400. Full-route Hausdorff = 500.
+  const roadnet::RoadNetwork net = testutil::line_network(12);
+  const FlowCluster a = make_flow(net, {SegmentId(0), SegmentId(1), SegmentId(2)}, NodeId(0));
+  const FlowCluster b = make_flow(net, {SegmentId(5), SegmentId(6)}, NodeId(5));
+  RefineConfig cfg;
+  cfg.epsilon = 5000.0;
+  cfg.distance_mode = FlowDistanceMode::kFullRoute;
+  EXPECT_DOUBLE_EQ(Refiner(net, cfg).flow_distance(a, b), 500.0);
+}
+
+TEST(FullRouteDistance, EuclideanKeyIsLowerBound) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(9, 9, 100.0);
+  const std::vector<FlowCluster> flows = simulated_flows(net, 50, 17);
+  ASSERT_GE(flows.size(), 2u);
+  RefineConfig cfg;
+  cfg.epsilon = 1e9;  // unbounded evaluation for the property check
+  cfg.distance_mode = FlowDistanceMode::kFullRoute;
+  const Refiner refiner(net, cfg);
+  for (std::size_t i = 0; i < std::min<std::size_t>(flows.size(), 6); ++i) {
+    for (std::size_t j = i + 1; j < std::min<std::size_t>(flows.size(), 6); ++j) {
+      EXPECT_LE(refiner.euclidean_route_hausdorff(flows[i], flows[j]),
+                refiner.flow_distance(flows[i], flows[j]) + 1e-9);
+    }
+  }
+}
+
+TEST(FullRouteRefine, ElbOnOffIdenticalClusters) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const std::vector<FlowCluster> flows = simulated_flows(net, 60, 23);
+  ASSERT_GT(flows.size(), 3u);
+  RefineConfig with;
+  with.epsilon = 400.0;
+  with.distance_mode = FlowDistanceMode::kFullRoute;
+  with.use_elb = true;
+  RefineConfig without = with;
+  without.use_elb = false;
+  const Phase3Output a = Refiner(net, with).refine(flows);
+  const Phase3Output b = Refiner(net, without).refine(flows);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].flows, b.clusters[i].flows);
+  }
+  EXPECT_LE(a.sp_computations, b.sp_computations);
+}
+
+TEST(FullRouteRefine, StricterThanEndpointsOnSharedHotspots) {
+  // Flows fan out of the same hotspots, so endpoint distances are tiny and
+  // endpoint-mode merges aggressively; full-route mode demands whole-route
+  // proximity and therefore produces at least as many clusters.
+  const roadnet::RoadNetwork net = roadnet::make_grid(12, 12, 100.0);
+  const std::vector<FlowCluster> flows = simulated_flows(net, 80, 29);
+  ASSERT_GT(flows.size(), 3u);
+  RefineConfig endpoints;
+  endpoints.epsilon = 500.0;
+  RefineConfig full = endpoints;
+  full.distance_mode = FlowDistanceMode::kFullRoute;
+  const Phase3Output by_endpoints = Refiner(net, endpoints).refine(flows);
+  const Phase3Output by_route = Refiner(net, full).refine(flows);
+  EXPECT_GE(by_route.clusters.size(), by_endpoints.clusters.size());
+}
+
+// Property: with min_pts = 1 the refinement's merge graph only gains edges
+// as ε grows, so the number of final clusters is non-increasing in ε.
+class EpsilonMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpsilonMonotonicity, ClusterCountNonIncreasing) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const std::vector<FlowCluster> flows =
+      simulated_flows(net, 50, static_cast<std::uint64_t>(GetParam()) + 41);
+  ASSERT_GT(flows.size(), 2u);
+  const FlowDistanceMode mode =
+      GetParam() % 2 == 0 ? FlowDistanceMode::kEndpoints : FlowDistanceMode::kFullRoute;
+  std::size_t prev = flows.size() + 1;
+  for (const double eps : {100.0, 300.0, 600.0, 1200.0, 2400.0}) {
+    RefineConfig cfg;
+    cfg.epsilon = eps;
+    cfg.distance_mode = mode;
+    const Phase3Output out = Refiner(net, cfg).refine(flows);
+    EXPECT_LE(out.clusters.size(), prev) << "eps = " << eps;
+    prev = out.clusters.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpsilonMonotonicity, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,172 @@
+// Tests for online/incremental NEAT clustering over trajectory batches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/incremental.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+#include "test_util.h"
+
+namespace neat {
+namespace {
+
+// Splits a dataset into `parts` round-robin batches.
+std::vector<traj::TrajectoryDataset> split_batches(const traj::TrajectoryDataset& data,
+                                                   std::size_t parts) {
+  std::vector<traj::TrajectoryDataset> out(parts);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    traj::Trajectory copy = data[i];
+    out[i % parts].add(std::move(copy));
+  }
+  return out;
+}
+
+TEST(Incremental, AccumulatesFlowsAcrossBatches) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(60, 4);
+  const auto batches = split_batches(data, 3);
+
+  Config cfg;
+  cfg.refine.epsilon = 500.0;
+  IncrementalClusterer inc(net, cfg);
+  std::size_t prev_flows = 0;
+  for (const auto& batch : batches) {
+    const auto& clusters = inc.add_batch(batch);
+    EXPECT_GE(inc.flows().size(), prev_flows);
+    prev_flows = inc.flows().size();
+    // Every final cluster references valid accumulated flows.
+    for (const FinalCluster& c : clusters) {
+      for (const std::size_t fi : c.flows) EXPECT_LT(fi, inc.flows().size());
+    }
+  }
+  EXPECT_EQ(inc.batches_processed(), 3u);
+  EXPECT_FALSE(inc.flows().empty());
+  EXPECT_FALSE(inc.clusters().empty());
+}
+
+TEST(Incremental, ClustersPartitionAccumulatedFlows) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(40, 8);
+  const auto batches = split_batches(data, 2);
+
+  Config cfg;
+  cfg.refine.epsilon = 400.0;
+  IncrementalClusterer inc(net, cfg);
+  for (const auto& batch : batches) inc.add_batch(batch);
+
+  std::vector<std::size_t> seen;
+  for (const FinalCluster& c : inc.clusters()) {
+    for (const std::size_t fi : c.flows) seen.push_back(fi);
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::size_t> want(inc.flows().size());
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] = i;
+  EXPECT_EQ(seen, want);
+}
+
+TEST(Incremental, RejectsDuplicateTrajectoryIdsAcrossBatches) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  traj::TrajectoryDataset batch1;
+  batch1.add(testutil::make_path_trajectory(net, 1, {NodeId(0), NodeId(1), NodeId(2)}));
+  traj::TrajectoryDataset batch2;
+  batch2.add(testutil::make_path_trajectory(net, 1, {NodeId(0), NodeId(1)}));
+
+  Config cfg;
+  IncrementalClusterer inc(net, cfg);
+  inc.add_batch(batch1);
+  EXPECT_THROW(inc.add_batch(batch2), PreconditionError);
+}
+
+TEST(Incremental, SingleBatchMatchesFlowCountOfBatchRun) {
+  // With one batch, incremental flows equal a flow-NEAT run on that batch.
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(30, 5);
+
+  Config cfg;
+  cfg.refine.epsilon = 400.0;
+  IncrementalClusterer inc(net, cfg);
+  inc.add_batch(data);
+
+  Config flow_cfg = cfg;
+  flow_cfg.mode = Mode::kFlow;
+  const Result batch_run = NeatClusterer(net, flow_cfg).run(data);
+  ASSERT_EQ(inc.flows().size(), batch_run.flow_clusters.size());
+  for (std::size_t i = 0; i < inc.flows().size(); ++i) {
+    EXPECT_EQ(inc.flows()[i].route, batch_run.flow_clusters[i].route);
+  }
+}
+
+TEST(IncrementalWindow, EvictsFlowsOutsideWindow) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+
+  Config cfg;
+  cfg.refine.epsilon = 400.0;
+  IncrementalOptions opts;
+  opts.window_batches = 2;
+  IncrementalClusterer windowed(net, cfg, opts);
+  IncrementalClusterer unbounded(net, cfg);
+
+  for (int batch = 0; batch < 5; ++batch) {
+    const traj::TrajectoryDataset raw =
+        simulator.generate(25, 100 + static_cast<std::uint64_t>(batch));
+    traj::TrajectoryDataset tagged_a;
+    traj::TrajectoryDataset tagged_b;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const auto id = TrajectoryId(batch * 1000 + static_cast<std::int64_t>(i));
+      tagged_a.add(traj::Trajectory(id, raw[i].points()));
+      tagged_b.add(traj::Trajectory(id, raw[i].points()));
+    }
+    windowed.add_batch(tagged_a);
+    unbounded.add_batch(tagged_b);
+  }
+  // The window holds at most the flows of the last two batches.
+  EXPECT_LT(windowed.flows().size(), unbounded.flows().size());
+  // Final clusters still partition the windowed flow set.
+  std::vector<std::size_t> seen;
+  for (const FinalCluster& c : windowed.clusters()) {
+    seen.insert(seen.end(), c.flows.begin(), c.flows.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::size_t> want(windowed.flows().size());
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] = i;
+  EXPECT_EQ(seen, want);
+}
+
+TEST(IncrementalWindow, WindowOfOneTracksOnlyLatestBatch) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+
+  Config cfg;
+  cfg.refine.epsilon = 400.0;
+  IncrementalOptions opts;
+  opts.window_batches = 1;
+  IncrementalClusterer inc(net, cfg, opts);
+
+  std::size_t last_batch_flows = 0;
+  for (int batch = 0; batch < 3; ++batch) {
+    const traj::TrajectoryDataset raw =
+        simulator.generate(20, 300 + static_cast<std::uint64_t>(batch));
+    traj::TrajectoryDataset tagged;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      tagged.add(traj::Trajectory(TrajectoryId(batch * 1000 + static_cast<std::int64_t>(i)),
+                                  raw[i].points()));
+    }
+    // Flows of this batch alone, for comparison.
+    Config flow_cfg = cfg;
+    flow_cfg.mode = Mode::kFlow;
+    last_batch_flows = NeatClusterer(net, flow_cfg).run(tagged).flow_clusters.size();
+    inc.add_batch(tagged);
+  }
+  EXPECT_EQ(inc.flows().size(), last_batch_flows);
+}
+
+}  // namespace
+}  // namespace neat

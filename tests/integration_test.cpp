@@ -1,0 +1,207 @@
+// Whole-pipeline integration tests on generated city networks: the complete
+// NEAT flow (simulate -> cluster -> refine) with cross-module invariants,
+// comparison hooks against the TraClus baseline, and the paper's headline
+// qualitative claims at test scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+#include "core/clusterer.h"
+#include "core/netflow.h"
+#include "eval/metrics.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+#include "traclus/traclus.h"
+
+namespace neat {
+namespace {
+
+struct CityFixture : ::testing::Test {
+  CityFixture() {
+    roadnet::CityParams p;
+    p.rows = 22;
+    p.cols = 22;
+    p.spacing_m = 130.0;
+    p.seed = 2024;
+    net = roadnet::make_city(p);
+    sim_cfg = sim::default_config(net, 2, 3);
+    data = sim::MobilitySimulator(net, sim_cfg).generate(120, 99);
+  }
+
+  roadnet::RoadNetwork net;
+  sim::SimConfig sim_cfg;
+  traj::TrajectoryDataset data;
+};
+
+TEST_F(CityFixture, FullPipelineInvariants) {
+  Config cfg;
+  cfg.refine.epsilon = 900.0;
+  const Result res = NeatClusterer(net, cfg).run(data);
+
+  // Phase 1: densities sum to the fragment count; participants are subsets
+  // of the dataset's trajectory ids.
+  std::size_t density_sum = 0;
+  std::unordered_set<std::int64_t> dataset_ids;
+  for (const traj::Trajectory& tr : data) dataset_ids.insert(tr.id().value());
+  for (const BaseCluster& c : res.base_clusters) {
+    density_sum += static_cast<std::size_t>(c.density());
+    EXPECT_GE(c.density(), c.cardinality());
+    for (const TrajectoryId trid : c.participants()) {
+      EXPECT_TRUE(dataset_ids.count(trid.value())) << "unknown participant";
+    }
+  }
+  EXPECT_EQ(density_sum, res.num_fragments);
+
+  // Phase 2: flows partition the base clusters; netflow between consecutive
+  // members is positive (Definition 8 requires f-neighbor chains).
+  std::vector<std::size_t> member_seen;
+  for (const auto* flows : {&res.flow_clusters, &res.filtered_flows}) {
+    for (const FlowCluster& f : *flows) {
+      member_seen.insert(member_seen.end(), f.members.begin(), f.members.end());
+      for (std::size_t i = 1; i < f.members.size(); ++i) {
+        EXPECT_GT(netflow(res.base_clusters[f.members[i - 1]],
+                          res.base_clusters[f.members[i]]),
+                  0);
+      }
+    }
+  }
+  std::sort(member_seen.begin(), member_seen.end());
+  std::vector<std::size_t> all(res.base_clusters.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_EQ(member_seen, all);
+
+  // Kept flows respect the minCard threshold; filtered ones fall below it.
+  for (const FlowCluster& f : res.flow_clusters) {
+    EXPECT_GE(static_cast<double>(f.cardinality()), res.effective_min_card);
+  }
+  for (const FlowCluster& f : res.filtered_flows) {
+    EXPECT_LT(static_cast<double>(f.cardinality()), res.effective_min_card);
+  }
+
+  // Phase 3: final clusters partition the kept flows.
+  std::vector<std::size_t> flow_seen;
+  for (const FinalCluster& c : res.final_clusters) {
+    flow_seen.insert(flow_seen.end(), c.flows.begin(), c.flows.end());
+  }
+  std::sort(flow_seen.begin(), flow_seen.end());
+  std::vector<std::size_t> all_flows(res.flow_clusters.size());
+  for (std::size_t i = 0; i < all_flows.size(); ++i) all_flows[i] = i;
+  EXPECT_EQ(flow_seen, all_flows);
+}
+
+TEST_F(CityFixture, FlowsCaptureMajorTraffic) {
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  // The kept flows should cover the bulk of extracted fragments and most
+  // trajectories — the filtered flows are minor traffic by construction.
+  EXPECT_GT(eval::fragment_coverage(res), 0.5);
+  EXPECT_GT(eval::trajectory_coverage(res, data.size()), 0.8);
+}
+
+TEST_F(CityFixture, FlowNeatProducesLongerRoutesThanTraClus) {
+  // The paper's Figure 5(a)/(b): flow-NEAT representative routes are longer
+  // than TraClus representative trajectories on the same data.
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  const Result neat_res = NeatClusterer(net, cfg).run(data);
+  const eval::RouteLengthStats neat_stats = eval::flow_route_stats(neat_res.flow_clusters);
+
+  traclus::Config tcfg;
+  tcfg.epsilon = 25.0;
+  tcfg.min_lns = 5;
+  const traclus::Result traclus_res = traclus::run(data, tcfg);
+  const eval::RouteLengthStats traclus_stats =
+      eval::traclus_route_stats(traclus_res.clusters);
+
+  ASSERT_GT(neat_stats.count, 0u);
+  ASSERT_GT(traclus_stats.count, 0u);
+  EXPECT_GT(neat_stats.max_m, traclus_stats.max_m * 0.8)
+      << "NEAT max route should not be shorter than TraClus's";
+  EXPECT_GT(neat_stats.avg_m, traclus_stats.avg_m)
+      << "paper Figure 5(a): NEAT average route length exceeds TraClus";
+}
+
+TEST_F(CityFixture, FlowNeatProducesFewerClustersThanTraClus) {
+  // The paper's Figure 5(c).
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  const Result neat_res = NeatClusterer(net, cfg).run(data);
+  traclus::Config tcfg;
+  tcfg.epsilon = 25.0;
+  tcfg.min_lns = 5;
+  const traclus::Result traclus_res = traclus::run(data, tcfg);
+  ASSERT_GT(traclus_res.clusters.size(), 0u);
+  EXPECT_LT(neat_res.flow_clusters.size(), traclus_res.clusters.size() * 3)
+      << "NEAT must produce a compact clustering";
+}
+
+TEST_F(CityFixture, NeatFasterThanTraClusAtScale) {
+  // The paper's Figure 5(d) shape: NEAT runs (much) faster than TraClus.
+  // At unit-test scale we only require a clear win, not orders of magnitude.
+  Config cfg;
+  cfg.refine.epsilon = 900.0;
+  Stopwatch watch;
+  const Result neat_res = NeatClusterer(net, cfg).run(data);
+  const double neat_s = watch.elapsed_seconds();
+  watch.restart();
+  traclus::Config tcfg;
+  tcfg.epsilon = 25.0;
+  tcfg.min_lns = 5;
+  const traclus::Result traclus_res = traclus::run(data, tcfg);
+  const double traclus_s = watch.elapsed_seconds();
+  EXPECT_LT(neat_s, traclus_s) << "NEAT should beat TraClus wall-clock";
+  EXPECT_FALSE(neat_res.flow_clusters.empty());
+  EXPECT_FALSE(traclus_res.segments.empty());
+}
+
+TEST_F(CityFixture, ModesAreConsistentPrefixes) {
+  // base-NEAT, flow-NEAT and opt-NEAT agree on all shared phases.
+  Config base_cfg;
+  base_cfg.mode = Mode::kBase;
+  Config flow_cfg;
+  flow_cfg.mode = Mode::kFlow;
+  Config opt_cfg;
+  opt_cfg.refine.epsilon = 900.0;
+  const NeatClusterer base_run(net, base_cfg);
+  const NeatClusterer flow_run(net, flow_cfg);
+  const NeatClusterer opt_run(net, opt_cfg);
+  const Result b = base_run.run(data);
+  const Result f = flow_run.run(data);
+  const Result o = opt_run.run(data);
+  ASSERT_EQ(b.base_clusters.size(), f.base_clusters.size());
+  ASSERT_EQ(f.flow_clusters.size(), o.flow_clusters.size());
+  for (std::size_t i = 0; i < f.flow_clusters.size(); ++i) {
+    EXPECT_EQ(f.flow_clusters[i].route, o.flow_clusters[i].route);
+  }
+  for (std::size_t i = 0; i < b.base_clusters.size(); ++i) {
+    EXPECT_EQ(b.base_clusters[i].sid(), f.base_clusters[i].sid());
+    EXPECT_EQ(b.base_clusters[i].density(), f.base_clusters[i].density());
+  }
+}
+
+TEST_F(CityFixture, WeightsProduceDifferentButValidClusterings) {
+  // Ablation: different SF presets change the flows but never break the
+  // route-validity invariant.
+  for (const auto& [wq, wk, wv] :
+       {std::tuple{1.0, 0.0, 0.0}, std::tuple{0.0, 1.0, 0.0}, std::tuple{0.0, 0.0, 1.0},
+        std::tuple{1.0 / 3, 1.0 / 3, 1.0 / 3}, std::tuple{0.5, 0.5, 0.0}}) {
+    Config cfg;
+    cfg.mode = Mode::kFlow;
+    cfg.flow.wq = wq;
+    cfg.flow.wk = wk;
+    cfg.flow.wv = wv;
+    const Result res = NeatClusterer(net, cfg).run(data);
+    ASSERT_FALSE(res.flow_clusters.empty());
+    for (const FlowCluster& f : res.flow_clusters) {
+      for (std::size_t i = 1; i < f.route.size(); ++i) {
+        ASSERT_TRUE(net.are_adjacent(f.route[i - 1], f.route[i]));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,103 @@
+// Round-trip tests for network and dataset persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "roadnet/generators.h"
+#include "roadnet/io.h"
+#include "test_util.h"
+#include "traj/io.h"
+
+namespace neat {
+namespace {
+
+TEST(NetworkIo, RoundTripPreservesEverything) {
+  roadnet::CityParams p;
+  p.rows = 10;
+  p.cols = 10;
+  p.oneway_probability = 0.2;
+  p.seed = 3;
+  const roadnet::RoadNetwork original = roadnet::make_city(p);
+
+  std::stringstream ss;
+  roadnet::save_network(original, ss);
+  const roadnet::RoadNetwork loaded = roadnet::load_network(ss);
+
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  ASSERT_EQ(loaded.segment_count(), original.segment_count());
+  for (std::size_t i = 0; i < original.node_count(); ++i) {
+    const auto id = NodeId(static_cast<std::int32_t>(i));
+    EXPECT_NEAR(loaded.node(id).pos.x, original.node(id).pos.x, 1e-3);
+    EXPECT_NEAR(loaded.node(id).pos.y, original.node(id).pos.y, 1e-3);
+  }
+  for (std::size_t i = 0; i < original.segment_count(); ++i) {
+    const auto id = SegmentId(static_cast<std::int32_t>(i));
+    EXPECT_EQ(loaded.segment(id).a, original.segment(id).a);
+    EXPECT_EQ(loaded.segment(id).b, original.segment(id).b);
+    EXPECT_EQ(loaded.segment(id).bidirectional, original.segment(id).bidirectional);
+    EXPECT_NEAR(loaded.segment(id).length, original.segment(id).length, 2e-3);
+    EXPECT_NEAR(loaded.segment(id).speed_limit, original.segment(id).speed_limit, 1e-3);
+  }
+}
+
+TEST(NetworkIo, RejectsMalformedRows) {
+  {
+    std::stringstream ss("node,0,1\n");  // missing y
+    EXPECT_THROW(roadnet::load_network(ss), ParseError);
+  }
+  {
+    std::stringstream ss("banana,0\n");
+    EXPECT_THROW(roadnet::load_network(ss), ParseError);
+  }
+  {
+    // Segment references a node that never appears.
+    std::stringstream ss("node,0,0,0\nsegment,0,0,5,100,10,1\n");
+    EXPECT_THROW(roadnet::load_network(ss), ParseError);
+  }
+}
+
+TEST(NetworkIo, FileErrors) {
+  EXPECT_THROW(roadnet::load_network("/nonexistent/dir/net.csv"), Error);
+  const roadnet::RoadNetwork net = testutil::line_network(1);
+  EXPECT_THROW(roadnet::save_network(net, "/nonexistent/dir/net.csv"), Error);
+}
+
+TEST(DatasetIo, RoundTrip) {
+  traj::TrajectoryDataset data;
+  traj::Trajectory t1(TrajectoryId(10));
+  t1.append({SegmentId(0), {0.5, 0.25}, 0.0, false});
+  t1.append({SegmentId(1), {10.125, 0}, 1.5, true});
+  traj::Trajectory t2(TrajectoryId(11));
+  t2.append({SegmentId(2), {-3, 4}, 0.0, false});
+  data.add(std::move(t1));
+  data.add(std::move(t2));
+
+  std::stringstream ss;
+  traj::save_dataset(data, ss);
+  const traj::TrajectoryDataset loaded = traj::load_dataset(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].id(), TrajectoryId(10));
+  EXPECT_EQ(loaded[0].size(), 2u);
+  EXPECT_EQ(loaded[0].point(1).sid, SegmentId(1));
+  EXPECT_TRUE(loaded[0].point(1).junction_point);
+  EXPECT_FALSE(loaded[0].point(0).junction_point);
+  EXPECT_NEAR(loaded[0].point(0).pos.x, 0.5, 1e-3);
+  EXPECT_NEAR(loaded[0].point(1).t, 1.5, 1e-3);
+  EXPECT_EQ(loaded[1].id(), TrajectoryId(11));
+}
+
+TEST(DatasetIo, RejectsMalformedRows) {
+  std::stringstream ss("1,0,0,0,0\n");  // 5 fields, needs 7
+  EXPECT_THROW(traj::load_dataset(ss), ParseError);
+  std::stringstream ss2("1,0,0,0,0,5.0,0\n1,1,0,0,0,4.0,0\n");  // time goes backward
+  EXPECT_THROW(traj::load_dataset(ss2), ParseError);
+}
+
+TEST(DatasetIo, EmptyStreamGivesEmptyDataset) {
+  std::stringstream ss;
+  EXPECT_TRUE(traj::load_dataset(ss).empty());
+}
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,195 @@
+// Tests for the look-ahead map matcher: exact recovery on clean traces, high
+// accuracy under GPS noise, parallel-segment disambiguation via continuity,
+// and end-to-end compatibility with NEAT Phase 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/clusterer.h"
+#include "mapmatch/look_ahead_matcher.h"
+#include "roadnet/builder.h"
+#include "roadnet/generators.h"
+#include "roadnet/spatial_index.h"
+#include "sim/mobility_simulator.h"
+#include "test_util.h"
+
+namespace neat::mapmatch {
+namespace {
+
+double sid_accuracy(const traj::TrajectoryDataset& truth,
+                    const roadnet::RoadNetwork& net, const roadnet::SegmentGridIndex& index,
+                    const std::vector<traj::RawTrace>& raw, const MatchConfig& cfg) {
+  const LookAheadMatcher matcher(net, index, cfg);
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const traj::Trajectory matched = matcher.match(raw[i]);
+    if (matched.size() != truth[i].size()) continue;  // dropped points: count as miss
+    for (std::size_t j = 0; j < matched.size(); ++j) {
+      ++total;
+      if (matched.point(j).sid == truth[i].point(j).sid) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+TEST(MatchConfigValidation, Rejected) {
+  const roadnet::RoadNetwork net = testutil::line_network(2);
+  const roadnet::SegmentGridIndex index(net);
+  MatchConfig cfg;
+  cfg.candidate_radius_m = 0.0;
+  EXPECT_THROW(LookAheadMatcher(net, index, cfg), PreconditionError);
+  cfg = MatchConfig{};
+  cfg.max_candidates = 0;
+  EXPECT_THROW(LookAheadMatcher(net, index, cfg), PreconditionError);
+}
+
+TEST(Matcher, ExactRecoveryOnCleanTrace) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 120.0);
+  const roadnet::SegmentGridIndex index(net);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset truth = simulator.generate(15, 42);
+  const std::vector<traj::RawTrace> raw = simulator.generate_raw(15, 42, 0.0);
+  EXPECT_DOUBLE_EQ(sid_accuracy(truth, net, index, raw, MatchConfig{}), 1.0);
+}
+
+TEST(Matcher, HighAccuracyUnderNoise) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 120.0);
+  const roadnet::SegmentGridIndex index(net);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset truth = simulator.generate(15, 42);
+  const std::vector<traj::RawTrace> raw = simulator.generate_raw(15, 42, 8.0);
+  // Samples landing exactly on junctions are inherently ambiguous (both
+  // incident segments are correct matches), so demand 85%, not 100%.
+  EXPECT_GT(sid_accuracy(truth, net, index, raw, MatchConfig{}), 0.85);
+}
+
+TEST(Matcher, ContinuityDisambiguatesParallelSegments) {
+  // Two parallel horizontal roads 30 m apart; the trace runs along the
+  // lower one but one noisy sample leans toward the upper. Pointwise
+  // nearest-segment matching would flip; the look-ahead (path continuity)
+  // must keep it on the lower road.
+  roadnet::RoadNetworkBuilder b;
+  const NodeId a0 = b.add_node({0, 0});
+  const NodeId a1 = b.add_node({200, 0});
+  const NodeId a2 = b.add_node({400, 0});
+  const NodeId u0 = b.add_node({0, 30});
+  const NodeId u1 = b.add_node({200, 30});
+  const NodeId u2 = b.add_node({400, 30});
+  b.add_segment(a0, a1, 10.0);  // sid 0 (lower)
+  b.add_segment(a1, a2, 10.0);  // sid 1 (lower)
+  b.add_segment(u0, u1, 10.0);  // sid 2 (upper)
+  b.add_segment(u1, u2, 10.0);  // sid 3 (upper)
+  const roadnet::RoadNetwork net = b.build();
+  const roadnet::SegmentGridIndex index(net);
+
+  traj::RawTrace trace;
+  trace.id = TrajectoryId(1);
+  for (int i = 0; i < 9; ++i) {
+    double y = 2.0;            // near the lower road
+    if (i == 4) y = 17.0;      // one outlier leaning to the upper road
+    trace.points.push_back(traj::RawPoint{{i * 50.0, y}, static_cast<double>(i)});
+  }
+  const LookAheadMatcher matcher(net, index);
+  const traj::Trajectory matched = matcher.match(trace);
+  ASSERT_EQ(matched.size(), 9u);
+  for (std::size_t j = 0; j < matched.size(); ++j) {
+    EXPECT_TRUE(matched.point(j).sid == SegmentId(0) || matched.point(j).sid == SegmentId(1))
+        << "point " << j << " flipped to the parallel road";
+  }
+}
+
+TEST(Matcher, ProjectsPositionsOntoMatchedSegment) {
+  const roadnet::RoadNetwork net = testutil::line_network(3);
+  const roadnet::SegmentGridIndex index(net);
+  traj::RawTrace trace;
+  trace.id = TrajectoryId(1);
+  trace.points.push_back(traj::RawPoint{{50, 7}, 0.0});
+  trace.points.push_back(traj::RawPoint{{150, -4}, 1.0});
+  const LookAheadMatcher matcher(net, index);
+  const traj::Trajectory matched = matcher.match(trace);
+  ASSERT_EQ(matched.size(), 2u);
+  EXPECT_EQ(matched.point(0).pos, (Point{50, 0}));
+  EXPECT_EQ(matched.point(1).pos, (Point{150, 0}));
+  EXPECT_DOUBLE_EQ(matched.point(1).t, 1.0);
+}
+
+TEST(Matcher, DropsPointsBeyondRadius) {
+  const roadnet::RoadNetwork net = testutil::line_network(3);
+  const roadnet::SegmentGridIndex index(net);
+  traj::RawTrace trace;
+  trace.id = TrajectoryId(1);
+  trace.points.push_back(traj::RawPoint{{50, 0}, 0.0});
+  trace.points.push_back(traj::RawPoint{{100, 5000}, 1.0});  // hopeless outlier
+  trace.points.push_back(traj::RawPoint{{150, 0}, 2.0});
+  MatchStats stats;
+  const LookAheadMatcher matcher(net, index);
+  const traj::Trajectory matched = matcher.match(trace, &stats);
+  EXPECT_EQ(matched.size(), 2u);
+  EXPECT_EQ(stats.dropped_points, 1u);
+  EXPECT_EQ(stats.matched_points, 2u);
+}
+
+TEST(Matcher, EmptyAndHopelessTraces) {
+  const roadnet::RoadNetwork net = testutil::line_network(3);
+  const roadnet::SegmentGridIndex index(net);
+  const LookAheadMatcher matcher(net, index);
+  EXPECT_TRUE(matcher.match(traj::RawTrace{TrajectoryId(1), {}}).empty());
+  traj::RawTrace hopeless{TrajectoryId(2), {traj::RawPoint{{0, 99999}, 0.0}}};
+  EXPECT_TRUE(matcher.match(hopeless).empty());
+}
+
+TEST(Matcher, MatchAllOmitsEmptyResults) {
+  const roadnet::RoadNetwork net = testutil::line_network(3);
+  const roadnet::SegmentGridIndex index(net);
+  const LookAheadMatcher matcher(net, index);
+  std::vector<traj::RawTrace> traces;
+  traces.push_back({TrajectoryId(1), {traj::RawPoint{{50, 0}, 0.0}}});
+  traces.push_back({TrajectoryId(2), {traj::RawPoint{{0, 99999}, 0.0}}});  // dropped
+  const traj::TrajectoryDataset matched = matcher.match_all(traces);
+  ASSERT_EQ(matched.size(), 1u);
+  EXPECT_EQ(matched[0].id(), TrajectoryId(1));
+}
+
+TEST(Matcher, MatchedOutputFeedsNeatPipeline) {
+  // End-to-end: raw noisy traces -> map matching -> NEAT clustering produces
+  // nearly the same flow structure as clustering the ground truth.
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 120.0);
+  const roadnet::SegmentGridIndex index(net);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset truth = simulator.generate(40, 6);
+  const std::vector<traj::RawTrace> raw = simulator.generate_raw(40, 6, 6.0);
+  const LookAheadMatcher matcher(net, index);
+  const traj::TrajectoryDataset matched = matcher.match_all(raw);
+
+  Config cfg;
+  cfg.mode = Mode::kFlow;  // auto minCard filters noise-induced mini flows
+  const Result from_truth = NeatClusterer(net, cfg).run(truth);
+  const Result from_matched = NeatClusterer(net, cfg).run(matched);
+  ASSERT_FALSE(from_matched.flow_clusters.empty());
+  // Compare the discovered major-flow structure, which is robust to the
+  // odd per-point flip: total kept route length and the longest flow.
+  const auto total_length = [](const std::vector<FlowCluster>& flows) {
+    double sum = 0.0;
+    for (const FlowCluster& f : flows) sum += f.route_length;
+    return sum;
+  };
+  const auto longest = [](const std::vector<FlowCluster>& flows) {
+    double best = 0.0;
+    for (const FlowCluster& f : flows) best = std::max(best, f.route_length);
+    return best;
+  };
+  const double ratio = total_length(from_matched.flow_clusters) /
+                       total_length(from_truth.flow_clusters);
+  EXPECT_GE(ratio, 0.5);
+  EXPECT_LE(ratio, 2.0);
+  EXPECT_GE(longest(from_matched.flow_clusters),
+            0.5 * longest(from_truth.flow_clusters));
+}
+
+}  // namespace
+}  // namespace neat::mapmatch

@@ -1,0 +1,151 @@
+// Broad invariant sweep: the full NEAT pipeline across seeds × network
+// topologies × operating modes, checking the cross-phase invariants that
+// must hold for *any* input. This is the safety net that catches
+// interactions the targeted unit tests cannot anticipate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/clusterer.h"
+#include "core/netflow.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+
+namespace neat {
+namespace {
+
+struct SweepCase {
+  const char* topology;  // "lattice" | "radial"
+  int seed;
+};
+
+roadnet::RoadNetwork make_topology(const SweepCase& c) {
+  if (std::string(c.topology) == "radial") {
+    roadnet::RadialCityParams p;
+    p.rings = 8;
+    p.spokes = 12;
+    p.ring_spacing_m = 180.0;
+    p.seed = static_cast<std::uint64_t>(c.seed) + 7;
+    return roadnet::make_radial_city(p);
+  }
+  roadnet::CityParams p;
+  p.rows = 18;
+  p.cols = 18;
+  p.spacing_m = 125.0;
+  p.oneway_probability = 0.05;
+  p.seed = static_cast<std::uint64_t>(c.seed) + 7;
+  return roadnet::make_city(p);
+}
+
+class PipelineSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(PipelineSweep, CrossPhaseInvariantsHold) {
+  const SweepCase c = GetParam();
+  const roadnet::RoadNetwork net = make_topology(c);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data =
+      sim::MobilitySimulator(net, scfg).generate(70, static_cast<std::uint64_t>(c.seed));
+  ASSERT_GT(data.size(), 0u);
+
+  Config cfg;
+  cfg.refine.epsilon = 900.0;
+  const Result res = NeatClusterer(net, cfg).run(data);
+
+  // --- Phase 1 invariants.
+  std::unordered_set<std::int32_t> seen_sids;
+  std::size_t density_sum = 0;
+  for (const BaseCluster& bc : res.base_clusters) {
+    EXPECT_TRUE(seen_sids.insert(bc.sid().value()).second)
+        << "one base cluster per segment (Definition 2)";
+    EXPECT_GT(bc.density(), 0);
+    EXPECT_GE(bc.density(), bc.cardinality());
+    density_sum += static_cast<std::size_t>(bc.density());
+    EXPECT_TRUE(std::is_sorted(bc.participants().begin(), bc.participants().end()));
+    for (const TFragment& f : bc.fragments()) {
+      EXPECT_EQ(f.sid, bc.sid());
+      EXPECT_LE(f.entry.t, f.exit.t);
+    }
+  }
+  EXPECT_EQ(density_sum, res.num_fragments);
+  // Density ordering.
+  for (std::size_t i = 1; i < res.base_clusters.size(); ++i) {
+    EXPECT_GE(res.base_clusters[i - 1].density(), res.base_clusters[i].density());
+  }
+
+  // --- Phase 2 invariants.
+  for (const auto* flows : {&res.flow_clusters, &res.filtered_flows}) {
+    for (const FlowCluster& f : *flows) {
+      ASSERT_FALSE(f.route.empty());
+      ASSERT_EQ(f.junctions.size(), f.route.size() + 1);
+      for (std::size_t i = 0; i < f.route.size(); ++i) {
+        EXPECT_TRUE(net.is_endpoint(f.route[i], f.junctions[i]));
+        EXPECT_TRUE(net.is_endpoint(f.route[i], f.junctions[i + 1]));
+      }
+      // Participants = union of member base-cluster participants.
+      std::vector<TrajectoryId> expected;
+      for (const std::size_t m : f.members) {
+        expected = merge_participants(expected, res.base_clusters[m].participants());
+      }
+      EXPECT_EQ(f.participants, expected);
+      // Chained members have positive netflow (Definition 8).
+      for (std::size_t i = 1; i < f.members.size(); ++i) {
+        EXPECT_GT(netflow(res.base_clusters[f.members[i - 1]],
+                          res.base_clusters[f.members[i]]),
+                  0);
+      }
+    }
+  }
+
+  // --- Phase 3 invariants.
+  std::vector<std::size_t> assigned;
+  for (const FinalCluster& fc : res.final_clusters) {
+    EXPECT_FALSE(fc.flows.empty());
+    EXPECT_TRUE(std::is_sorted(fc.flows.begin(), fc.flows.end()));
+    assigned.insert(assigned.end(), fc.flows.begin(), fc.flows.end());
+    double total = 0.0;
+    for (const std::size_t fi : fc.flows) total += res.flow_clusters[fi].route_length;
+    EXPECT_NEAR(total, fc.total_route_length, 1e-6);
+  }
+  std::sort(assigned.begin(), assigned.end());
+  std::vector<std::size_t> all(res.flow_clusters.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_EQ(assigned, all);
+
+  // --- Work accounting.
+  EXPECT_EQ(res.sp_computations, 4u * res.pairs_evaluated)
+      << "endpoint mode runs exactly four Dijkstras per evaluated pair";
+}
+
+TEST_P(PipelineSweep, ModesAgreeOnSharedPhases) {
+  const SweepCase c = GetParam();
+  const roadnet::RoadNetwork net = make_topology(c);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data =
+      sim::MobilitySimulator(net, scfg).generate(40, static_cast<std::uint64_t>(c.seed) + 99);
+
+  Config base;
+  base.mode = Mode::kBase;
+  Config flow;
+  flow.mode = Mode::kFlow;
+  const Result rb = NeatClusterer(net, base).run(data);
+  const Result rf = NeatClusterer(net, flow).run(data);
+  ASSERT_EQ(rb.base_clusters.size(), rf.base_clusters.size());
+  for (std::size_t i = 0; i < rb.base_clusters.size(); ++i) {
+    EXPECT_EQ(rb.base_clusters[i].sid(), rf.base_clusters[i].sid());
+    EXPECT_EQ(rb.base_clusters[i].density(), rf.base_clusters[i].density());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, PipelineSweep,
+    ::testing::Values(SweepCase{"lattice", 1}, SweepCase{"lattice", 2},
+                      SweepCase{"lattice", 3}, SweepCase{"radial", 1},
+                      SweepCase{"radial", 2}, SweepCase{"radial", 3}),
+    [](const auto& param_info) {
+      return std::string(param_info.param.topology) + "_seed" +
+             std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,117 @@
+// Tests for the radial ("spider web") city generator, plus an end-to-end
+// NEAT run on a radial topology — structural robustness beyond lattices.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/error.h"
+#include "core/clusterer.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+
+namespace neat::roadnet {
+namespace {
+
+std::size_t component_size(const RoadNetwork& net) {
+  if (net.node_count() == 0) return 0;
+  std::vector<bool> seen(net.node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(NodeId(0));
+  seen[0] = true;
+  std::size_t count = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    ++count;
+    for (const SegmentId sid : net.segments_at(u)) {
+      const NodeId v = net.other_endpoint(sid, u);
+      if (!seen[static_cast<std::size_t>(v.value())]) {
+        seen[static_cast<std::size_t>(v.value())] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+TEST(RadialCity, FullRetentionCounts) {
+  RadialCityParams p;
+  p.rings = 4;
+  p.spokes = 8;
+  p.ring_keep_probability = 1.0;
+  p.spoke_keep_probability = 1.0;
+  p.jitter_frac = 0.0;
+  const RoadNetwork net = make_radial_city(p);
+  // 1 center + 4*8 ring nodes; 4*8 radial + 4*8 ring segments.
+  EXPECT_EQ(net.node_count(), 33u);
+  EXPECT_EQ(net.segment_count(), 64u);
+  // The center has degree = spokes.
+  EXPECT_EQ(net.junction_degree(NodeId(0)), 8);
+}
+
+TEST(RadialCity, ConnectedAndDeterministic) {
+  RadialCityParams p;
+  p.rings = 6;
+  p.spokes = 10;
+  p.seed = 11;
+  const RoadNetwork a = make_radial_city(p);
+  const RoadNetwork b = make_radial_city(p);
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_EQ(a.segment_count(), b.segment_count());
+  EXPECT_EQ(component_size(a), a.node_count());
+}
+
+TEST(RadialCity, SpeedClasses) {
+  RadialCityParams p;
+  p.rings = 3;
+  p.spokes = 6;
+  const RoadNetwork net = make_radial_city(p);
+  bool has_radial = false;
+  bool has_ring = false;
+  for (const Segment& s : net.segments()) {
+    if (s.speed_limit == p.radial_speed_mps) has_radial = true;
+    if (s.speed_limit == p.ring_speed_mps) has_ring = true;
+  }
+  EXPECT_TRUE(has_radial);
+  EXPECT_TRUE(has_ring);
+}
+
+TEST(RadialCity, Validation) {
+  RadialCityParams p;
+  p.rings = 0;
+  EXPECT_THROW(make_radial_city(p), PreconditionError);
+  p = RadialCityParams{};
+  p.spokes = 2;
+  EXPECT_THROW(make_radial_city(p), PreconditionError);
+  p = RadialCityParams{};
+  p.ring_spacing_m = 0.0;
+  EXPECT_THROW(make_radial_city(p), PreconditionError);
+}
+
+TEST(RadialCity, NeatEndToEnd) {
+  // Full pipeline on a radial topology: suburban hotspots commuting to the
+  // center concentrate on the spokes — flows should be found and valid.
+  RadialCityParams p;
+  p.rings = 10;
+  p.spokes = 14;
+  p.ring_spacing_m = 200.0;
+  p.seed = 3;
+  const RoadNetwork net = make_radial_city(p);
+  const sim::SimConfig scfg = sim::default_config(net, 3, 2);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(60, 7);
+  ASSERT_GT(data.size(), 0u);
+
+  Config cfg;
+  cfg.refine.epsilon = 1000.0;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  ASSERT_FALSE(res.flow_clusters.empty());
+  for (const FlowCluster& f : res.flow_clusters) {
+    for (std::size_t i = 1; i < f.route.size(); ++i) {
+      ASSERT_TRUE(net.are_adjacent(f.route[i - 1], f.route[i]));
+    }
+  }
+  EXPECT_FALSE(res.final_clusters.empty());
+}
+
+}  // namespace
+}  // namespace neat::roadnet

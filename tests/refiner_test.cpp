@@ -1,0 +1,242 @@
+// Tests for NEAT Phase 3 — modified Hausdorff flow distance (Definition 11),
+// ELB pruning soundness (identical clusters with ELB on/off, fewer shortest
+// paths with it on), deterministic DBSCAN over flows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/clusterer.h"
+#include "core/refiner.h"
+#include "roadnet/generators.h"
+#include "sim/mobility_simulator.h"
+#include "test_util.h"
+
+namespace neat {
+namespace {
+
+FlowCluster make_flow(const roadnet::RoadNetwork& net, const std::vector<SegmentId>& route,
+                      NodeId first_junction) {
+  FlowCluster f;
+  f.route = route;
+  f.junctions.push_back(first_junction);
+  NodeId cur = first_junction;
+  for (const SegmentId sid : route) {
+    cur = net.other_endpoint(sid, cur);
+    f.junctions.push_back(cur);
+    f.route_length += net.segment_length(sid);
+  }
+  return f;
+}
+
+TEST(HausdorffParts, Formula5) {
+  // fwd = max(min(d11,d12), min(d21,d22)); bwd = max(min(d11,d21), min(d12,d22)).
+  EXPECT_DOUBLE_EQ(hausdorff_from_parts(0.0, 5.0, 5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hausdorff_from_parts(1.0, 2.0, 3.0, 4.0), 3.0);
+  EXPECT_DOUBLE_EQ(hausdorff_from_parts(10.0, 10.0, 10.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(hausdorff_from_parts(0.0, 100.0, 100.0, 7.0), 7.0);
+}
+
+TEST(RefineConfigValidation, Rejected) {
+  const roadnet::RoadNetwork net = testutil::line_network(2);
+  RefineConfig cfg;
+  cfg.epsilon = 0.0;
+  EXPECT_THROW(Refiner(net, cfg), PreconditionError);
+  cfg = RefineConfig{};
+  cfg.min_pts = 0;
+  EXPECT_THROW(Refiner(net, cfg), PreconditionError);
+}
+
+TEST(Refiner, FlowDistanceOnLine) {
+  // Line of 10 segments; flow A covers segments 0-1, flow B covers 5-6.
+  const roadnet::RoadNetwork net = testutil::line_network(10);
+  const FlowCluster a = make_flow(net, {SegmentId(0), SegmentId(1)}, NodeId(0));
+  const FlowCluster b = make_flow(net, {SegmentId(5), SegmentId(6)}, NodeId(5));
+  RefineConfig cfg;
+  cfg.epsilon = 1000.0;
+  const Refiner refiner(net, cfg);
+  // Endpoints: a = {n0, n2}, b = {n5, n7}. Pairwise network distances are
+  // 500, 700, 300, 500; Formula 5 gives max(min per endpoint) = 500.
+  EXPECT_DOUBLE_EQ(refiner.flow_distance(a, b), 500.0);
+  EXPECT_DOUBLE_EQ(refiner.flow_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(refiner.flow_distance(b, a), refiner.flow_distance(a, b));
+}
+
+TEST(Refiner, MinEuclideanEndpointDistance) {
+  const roadnet::RoadNetwork net = testutil::line_network(10);
+  const FlowCluster a = make_flow(net, {SegmentId(0), SegmentId(1)}, NodeId(0));
+  const FlowCluster b = make_flow(net, {SegmentId(5), SegmentId(6)}, NodeId(5));
+  RefineConfig cfg;
+  const Refiner refiner(net, cfg);
+  EXPECT_DOUBLE_EQ(refiner.min_euclidean_endpoint_distance(a, b), 300.0);  // n2 to n5
+}
+
+TEST(Refiner, MergesCloseFlowsSplitsFarOnes) {
+  const roadnet::RoadNetwork net = testutil::line_network(12);
+  // Three flows: two nearby (gap of one segment), one far away.
+  const std::vector<FlowCluster> flows{
+      make_flow(net, {SegmentId(0), SegmentId(1)}, NodeId(0)),
+      make_flow(net, {SegmentId(3)}, NodeId(3)),
+      make_flow(net, {SegmentId(10)}, NodeId(10)),
+  };
+  RefineConfig cfg;
+  // distN(flow0, flow1) = 300 (the far endpoint n0 dominates the Hausdorff
+  // max); distN to flow 2 is 600+.
+  cfg.epsilon = 350.0;
+  const Refiner refiner(net, cfg);
+  const Phase3Output out = refiner.refine(flows);
+  ASSERT_EQ(out.clusters.size(), 2u);
+  // Groups are reported with ascending flow indices.
+  std::vector<std::vector<std::size_t>> groups;
+  for (const FinalCluster& c : out.clusters) groups.push_back(c.flows);
+  std::sort(groups.begin(), groups.end());
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{2}));
+}
+
+TEST(Refiner, ChainMergingIsTransitive) {
+  // DBSCAN density-connectivity: A close to B, B close to C, A far from C —
+  // all three still end in one cluster.
+  const roadnet::RoadNetwork net = testutil::line_network(12);
+  const std::vector<FlowCluster> flows{
+      make_flow(net, {SegmentId(0)}, NodeId(0)),
+      make_flow(net, {SegmentId(3)}, NodeId(3)),
+      make_flow(net, {SegmentId(6)}, NodeId(6)),
+  };
+  RefineConfig cfg;
+  cfg.epsilon = 350.0;  // adjacent pairs are 200/300 apart; ends are 600
+  const Refiner refiner(net, cfg);
+  const Phase3Output out = refiner.refine(flows);
+  ASSERT_EQ(out.clusters.size(), 1u);
+  EXPECT_EQ(out.clusters[0].flows, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(Refiner, EmptyInput) {
+  const roadnet::RoadNetwork net = testutil::line_network(2);
+  RefineConfig cfg;
+  const Refiner refiner(net, cfg);
+  const Phase3Output out = refiner.refine({});
+  EXPECT_TRUE(out.clusters.empty());
+  EXPECT_EQ(out.sp_computations, 0u);
+}
+
+TEST(Refiner, SingleFlowIsOwnCluster) {
+  const roadnet::RoadNetwork net = testutil::line_network(3);
+  const std::vector<FlowCluster> flows{make_flow(net, {SegmentId(0)}, NodeId(0))};
+  RefineConfig cfg;
+  const Refiner refiner(net, cfg);
+  const Phase3Output out = refiner.refine(flows);
+  ASSERT_EQ(out.clusters.size(), 1u);
+  EXPECT_EQ(out.clusters[0].flows, std::vector<std::size_t>{0});
+}
+
+TEST(Refiner, ElbPrunesWithoutChangingClusters) {
+  // Property: ELB on/off produce identical final clusters, and ELB strictly
+  // reduces shortest-path computations when far-apart flows exist.
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 3, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset data = simulator.generate(60, 13);
+
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  cfg.flow.min_card = 1.0;  // keep every flow so the refiner sees many
+  const Result flows_only = NeatClusterer(net, cfg).run(data);
+  ASSERT_GT(flows_only.flow_clusters.size(), 2u);
+
+  RefineConfig with_elb;
+  with_elb.epsilon = 400.0;
+  with_elb.use_elb = true;
+  RefineConfig without_elb = with_elb;
+  without_elb.use_elb = false;
+
+  const Phase3Output a = Refiner(net, with_elb).refine(flows_only.flow_clusters);
+  const Phase3Output b = Refiner(net, without_elb).refine(flows_only.flow_clusters);
+
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].flows, b.clusters[i].flows);
+  }
+  EXPECT_GT(a.elb_pruned_pairs, 0u);
+  EXPECT_LT(a.sp_computations, b.sp_computations);
+  EXPECT_EQ(b.elb_pruned_pairs, 0u);
+}
+
+TEST(Refiner, DeterministicAcrossRuns) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 3, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset data = simulator.generate(50, 29);
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  const Result flows_only = NeatClusterer(net, cfg).run(data);
+  RefineConfig rcfg;
+  rcfg.epsilon = 500.0;
+  const Phase3Output a = Refiner(net, rcfg).refine(flows_only.flow_clusters);
+  const Phase3Output b = Refiner(net, rcfg).refine(flows_only.flow_clusters);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].flows, b.clusters[i].flows);
+  }
+}
+
+TEST(Refiner, PartitionsAllFlows) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 3, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+  const traj::TrajectoryDataset data = simulator.generate(50, 31);
+  Config cfg;
+  cfg.mode = Mode::kFlow;
+  const Result flows_only = NeatClusterer(net, cfg).run(data);
+  RefineConfig rcfg;
+  rcfg.epsilon = 300.0;
+  const Phase3Output out = Refiner(net, rcfg).refine(flows_only.flow_clusters);
+  std::vector<std::size_t> seen;
+  for (const FinalCluster& c : out.clusters) {
+    for (const std::size_t f : c.flows) seen.push_back(f);
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<std::size_t> want(flows_only.flow_clusters.size());
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] = i;
+  EXPECT_EQ(seen, want) << "every flow must end in exactly one final cluster";
+}
+
+TEST(Refiner, MinPtsAboveOneLeavesSparseFlowsSingleton) {
+  const roadnet::RoadNetwork net = testutil::line_network(12);
+  const std::vector<FlowCluster> flows{
+      make_flow(net, {SegmentId(0)}, NodeId(0)),
+      make_flow(net, {SegmentId(2)}, NodeId(2)),
+      make_flow(net, {SegmentId(4)}, NodeId(4)),
+      make_flow(net, {SegmentId(10)}, NodeId(10)),  // isolated
+  };
+  RefineConfig cfg;
+  cfg.epsilon = 250.0;
+  cfg.min_pts = 3;
+  const Refiner refiner(net, cfg);
+  const Phase3Output out = refiner.refine(flows);
+  // Flows 0-2 form a chain dense enough for min_pts=3 via flow 1; flow 3 is
+  // noise and must surface as a singleton cluster (NEAT partitions flows).
+  ASSERT_EQ(out.clusters.size(), 2u);
+  std::vector<std::vector<std::size_t>> groups;
+  for (const FinalCluster& c : out.clusters) groups.push_back(c.flows);
+  std::sort(groups.begin(), groups.end());
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{3}));
+}
+
+TEST(Refiner, AggregatesClusterMetadata) {
+  const roadnet::RoadNetwork net = testutil::line_network(12);
+  FlowCluster a = make_flow(net, {SegmentId(0), SegmentId(1)}, NodeId(0));
+  a.participants = {TrajectoryId(1), TrajectoryId(2)};
+  FlowCluster b = make_flow(net, {SegmentId(3)}, NodeId(3));
+  b.participants = {TrajectoryId(2), TrajectoryId(3)};
+  RefineConfig cfg;
+  cfg.epsilon = 350.0;  // distN(a, b) = 300
+  const Phase3Output out = Refiner(net, cfg).refine({a, b});
+  ASSERT_EQ(out.clusters.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.clusters[0].total_route_length, 300.0);
+  EXPECT_EQ(out.clusters[0].cardinality(), 3);
+}
+
+}  // namespace
+}  // namespace neat

@@ -1,0 +1,219 @@
+// Unit tests for the road-network graph model and its NEAT primitives
+// (L_n(e), I(ei, ej), segment/edge duality).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "roadnet/builder.h"
+#include "roadnet/road_network.h"
+#include "test_util.h"
+
+namespace neat::roadnet {
+namespace {
+
+RoadNetwork two_segment_line() { return testutil::line_network(2); }
+
+TEST(Builder, CountsAndIds) {
+  RoadNetworkBuilder b;
+  const NodeId a = b.add_node({0, 0});
+  const NodeId c = b.add_node({100, 0});
+  EXPECT_EQ(a.value(), 0);
+  EXPECT_EQ(c.value(), 1);
+  const SegmentId s = b.add_segment(a, c, 10.0);
+  EXPECT_EQ(s.value(), 0);
+  EXPECT_EQ(b.node_count(), 2u);
+  EXPECT_EQ(b.segment_count(), 1u);
+  const RoadNetwork net = b.build();
+  EXPECT_EQ(net.node_count(), 2u);
+  EXPECT_EQ(net.segment_count(), 1u);
+  EXPECT_EQ(net.edge_count(), 2u);  // bidirectional -> two directed edges
+}
+
+TEST(Builder, DefaultLengthIsStraightLine) {
+  RoadNetworkBuilder b;
+  const NodeId a = b.add_node({0, 0});
+  const NodeId c = b.add_node({30, 40});
+  b.add_segment(a, c, 10.0);
+  const RoadNetwork net = b.build();
+  EXPECT_DOUBLE_EQ(net.segment_length(SegmentId(0)), 50.0);
+}
+
+TEST(Builder, ExplicitLongerLengthAllowed) {
+  RoadNetworkBuilder b;
+  const NodeId a = b.add_node({0, 0});
+  const NodeId c = b.add_node({30, 40});
+  b.add_segment(a, c, 10.0, true, 80.0);  // curvy road
+  EXPECT_DOUBLE_EQ(b.build().segment_length(SegmentId(0)), 80.0);
+}
+
+TEST(Builder, RejectsInvalidInput) {
+  RoadNetworkBuilder b;
+  const NodeId a = b.add_node({0, 0});
+  const NodeId c = b.add_node({100, 0});
+  EXPECT_THROW(b.add_segment(a, a, 10.0), PreconditionError);         // self loop
+  EXPECT_THROW(b.add_segment(a, NodeId(99), 10.0), PreconditionError);  // no such node
+  EXPECT_THROW(b.add_segment(a, c, 0.0), PreconditionError);           // bad speed
+  EXPECT_THROW(b.add_segment(a, c, 10.0, true, 50.0), PreconditionError);  // undercut
+}
+
+TEST(Builder, BuildEmptiesBuilder) {
+  RoadNetworkBuilder b;
+  const NodeId a = b.add_node({0, 0});
+  const NodeId c = b.add_node({100, 0});
+  b.add_segment(a, c, 10.0);
+  (void)b.build();
+  EXPECT_EQ(b.node_count(), 0u);
+  EXPECT_EQ(b.segment_count(), 0u);
+}
+
+TEST(RoadNetwork, AccessorsValidateIds) {
+  const RoadNetwork net = two_segment_line();
+  EXPECT_THROW(static_cast<void>(net.node(NodeId(99))), NotFoundError);
+  EXPECT_THROW(static_cast<void>(net.node(NodeId::invalid())), NotFoundError);
+  EXPECT_THROW(static_cast<void>(net.segment(SegmentId(99))), NotFoundError);
+  EXPECT_THROW(static_cast<void>(net.edge(EdgeId(99))), NotFoundError);
+}
+
+TEST(RoadNetwork, PointOnSegmentClamps) {
+  const RoadNetwork net = two_segment_line();
+  EXPECT_EQ(net.point_on_segment(SegmentId(0), 0.0), (Point{0, 0}));
+  EXPECT_EQ(net.point_on_segment(SegmentId(0), 50.0), (Point{50, 0}));
+  EXPECT_EQ(net.point_on_segment(SegmentId(0), 1e9), (Point{100, 0}));
+  EXPECT_EQ(net.point_on_segment(SegmentId(0), -5.0), (Point{0, 0}));
+}
+
+TEST(RoadNetwork, ProjectToSegment) {
+  const RoadNetwork net = two_segment_line();
+  double dist = -1.0;
+  const double offset = net.project_to_segment(SegmentId(0), {25, 30}, &dist);
+  EXPECT_DOUBLE_EQ(offset, 25.0);
+  EXPECT_DOUBLE_EQ(dist, 30.0);
+}
+
+TEST(RoadNetwork, SegmentsAtJunction) {
+  const RoadNetwork net = two_segment_line();
+  const auto star = net.segments_at(NodeId(1));  // middle junction
+  EXPECT_EQ(star.size(), 2u);
+  EXPECT_EQ(net.junction_degree(NodeId(1)), 2);
+  EXPECT_EQ(net.junction_degree(NodeId(0)), 1);
+}
+
+TEST(RoadNetwork, AdjacentSegmentsIsLnOfPaper) {
+  // Star network: L_{n2}(S1) must be {S2, S3, S4}.
+  const RoadNetwork net = testutil::fig1_network();
+  auto l = net.adjacent_segments(SegmentId(0), NodeId(1));
+  std::sort(l.begin(), l.end());
+  EXPECT_EQ(l, (std::vector<SegmentId>{SegmentId(1), SegmentId(2), SegmentId(3)}));
+  // At the dead-end n1, L_{n1}(S1) is empty.
+  EXPECT_TRUE(net.adjacent_segments(SegmentId(0), NodeId(0)).empty());
+  // Node must be an endpoint.
+  EXPECT_THROW(net.adjacent_segments(SegmentId(0), NodeId(2)), PreconditionError);
+}
+
+TEST(RoadNetwork, SharedJunctionIsIOfPaper) {
+  const RoadNetwork net = testutil::fig1_network();
+  EXPECT_EQ(net.shared_junction(SegmentId(0), SegmentId(1)), NodeId(1));
+  EXPECT_EQ(net.shared_junction(SegmentId(2), SegmentId(3)), NodeId(1));
+  EXPECT_TRUE(net.are_adjacent(SegmentId(0), SegmentId(3)));
+  EXPECT_FALSE(net.shared_junction(SegmentId(0), SegmentId(0)).valid());
+}
+
+TEST(RoadNetwork, NonAdjacentSegments) {
+  const RoadNetwork net = testutil::line_network(3);
+  EXPECT_FALSE(net.are_adjacent(SegmentId(0), SegmentId(2)));
+  EXPECT_FALSE(net.shared_junction(SegmentId(0), SegmentId(2)).valid());
+}
+
+TEST(RoadNetwork, ParallelSegmentsSharedJunctionDeterministic) {
+  // Two parallel segments between the same junction pair share two nodes;
+  // the smaller node id must win, deterministically.
+  RoadNetworkBuilder b;
+  const NodeId a = b.add_node({0, 0});
+  const NodeId c = b.add_node({100, 0});
+  b.add_segment(a, c, 10.0);
+  b.add_segment(a, c, 10.0, true, 150.0);  // longer parallel road
+  const RoadNetwork net = b.build();
+  EXPECT_EQ(net.shared_junction(SegmentId(0), SegmentId(1)), a);
+}
+
+TEST(RoadNetwork, OtherEndpoint) {
+  const RoadNetwork net = two_segment_line();
+  EXPECT_EQ(net.other_endpoint(SegmentId(0), NodeId(0)), NodeId(1));
+  EXPECT_EQ(net.other_endpoint(SegmentId(0), NodeId(1)), NodeId(0));
+  EXPECT_THROW(static_cast<void>(net.other_endpoint(SegmentId(0), NodeId(2))), PreconditionError);
+}
+
+TEST(RoadNetwork, DirectedEdgesOfBidirectionalSegment) {
+  const RoadNetwork net = two_segment_line();
+  const EdgeId f = net.forward_edge(SegmentId(0));
+  const EdgeId r = net.backward_edge(SegmentId(0));
+  ASSERT_TRUE(f.valid());
+  ASSERT_TRUE(r.valid());
+  EXPECT_EQ(net.edge(f).from, NodeId(0));
+  EXPECT_EQ(net.edge(f).to, NodeId(1));
+  EXPECT_EQ(net.edge(r).from, NodeId(1));
+  EXPECT_EQ(net.edge(r).to, NodeId(0));
+  EXPECT_EQ(net.edge(f).sid, SegmentId(0));
+  EXPECT_EQ(net.edge(r).sid, SegmentId(0));
+}
+
+TEST(RoadNetwork, OneWaySegmentHasSingleEdge) {
+  RoadNetworkBuilder b;
+  const NodeId a = b.add_node({0, 0});
+  const NodeId c = b.add_node({100, 0});
+  b.add_segment(a, c, 10.0, /*bidirectional=*/false);
+  const RoadNetwork net = b.build();
+  EXPECT_EQ(net.edge_count(), 1u);
+  EXPECT_TRUE(net.forward_edge(SegmentId(0)).valid());
+  EXPECT_FALSE(net.backward_edge(SegmentId(0)).valid());
+  EXPECT_TRUE(net.edge_from(SegmentId(0), a).valid());
+  EXPECT_FALSE(net.edge_from(SegmentId(0), c).valid());
+  EXPECT_TRUE(net.out_edges(c).empty());
+}
+
+TEST(RoadNetwork, EdgeFromNonEndpointIsInvalid) {
+  const RoadNetwork net = two_segment_line();
+  EXPECT_FALSE(net.edge_from(SegmentId(0), NodeId(2)).valid());
+}
+
+TEST(RoadNetwork, StatsMatchHandComputation) {
+  const RoadNetwork net = testutil::fig1_network();
+  const NetworkStats st = net.stats();
+  EXPECT_EQ(st.num_segments, 4u);
+  EXPECT_EQ(st.num_junctions, 5u);
+  EXPECT_DOUBLE_EQ(st.total_length_km, 0.4);
+  EXPECT_DOUBLE_EQ(st.avg_segment_length_m, 100.0);
+  EXPECT_EQ(st.max_junction_degree, 4);
+  EXPECT_DOUBLE_EQ(st.avg_junction_degree, 8.0 / 5.0);
+}
+
+TEST(RoadNetwork, BoundingBox) {
+  const Bounds bb = testutil::fig1_network().bounding_box();
+  EXPECT_EQ(bb.min, (Point{0, -100}));
+  EXPECT_EQ(bb.max, (Point{200, 100}));
+}
+
+TEST(RoadNetwork, EmptyNetwork) {
+  const RoadNetwork net;
+  EXPECT_EQ(net.node_count(), 0u);
+  EXPECT_EQ(net.segment_count(), 0u);
+  const NetworkStats st = net.stats();
+  EXPECT_EQ(st.num_segments, 0u);
+  EXPECT_DOUBLE_EQ(st.avg_junction_degree, 0.0);
+}
+
+TEST(RoadNetwork, ConstructorValidatesParts) {
+  std::vector<Node> nodes{{{0, 0}}, {{100, 0}}};
+  {
+    std::vector<Segment> segs{{NodeId(0), NodeId(5), 100.0, 10.0, true}};
+    EXPECT_THROW(RoadNetwork(nodes, segs), PreconditionError);
+  }
+  {
+    std::vector<Segment> segs{{NodeId(0), NodeId(1), 10.0, 10.0, true}};  // undercut
+    EXPECT_THROW(RoadNetwork(nodes, segs), PreconditionError);
+  }
+}
+
+}  // namespace
+}  // namespace neat::roadnet

@@ -1,0 +1,118 @@
+// Tests for Douglas–Peucker trajectory simplification.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/fragmenter.h"
+#include "test_util.h"
+#include "traj/simplify.h"
+
+namespace neat::traj {
+namespace {
+
+Location loc(std::int32_t sid, double x, double y, double t, bool junction = false) {
+  return Location{SegmentId(sid), {x, y}, t, junction};
+}
+
+TEST(DouglasPeucker, CollinearCollapsesToEndpoints) {
+  std::vector<Point> pts;
+  for (int i = 0; i <= 10; ++i) pts.push_back({i * 10.0, 0.0});
+  EXPECT_EQ(douglas_peucker_indices(pts, 1.0), (std::vector<std::size_t>{0, 10}));
+  EXPECT_EQ(douglas_peucker_indices(pts, 0.0), (std::vector<std::size_t>{0, 10}));
+}
+
+TEST(DouglasPeucker, KeepsSalientCorner) {
+  const std::vector<Point> pts{{0, 0}, {50, 0}, {100, 0}, {100, 50}, {100, 100}};
+  const auto kept = douglas_peucker_indices(pts, 5.0);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[1], 2u);  // the corner at (100, 0)
+}
+
+TEST(DouglasPeucker, ToleranceControlsDetail) {
+  // A sine-ish wiggle: higher tolerance keeps fewer points.
+  std::vector<Point> pts;
+  for (int i = 0; i <= 40; ++i) pts.push_back({i * 10.0, (i % 2 == 0) ? 0.0 : 8.0});
+  const auto coarse = douglas_peucker_indices(pts, 10.0);
+  const auto fine = douglas_peucker_indices(pts, 1.0);
+  EXPECT_LT(coarse.size(), fine.size());
+  EXPECT_EQ(coarse.front(), 0u);
+  EXPECT_EQ(coarse.back(), 40u);
+}
+
+TEST(DouglasPeucker, ErrorBoundHolds) {
+  // Property: every dropped point lies within tolerance of the simplified
+  // polyline's corresponding chord.
+  Rng rng(5);
+  std::vector<Point> pts;
+  double y = 0.0;
+  for (int i = 0; i <= 80; ++i) {
+    y += rng.uniform(-6.0, 6.0);
+    pts.push_back({i * 12.0, y});
+  }
+  const double tolerance = 10.0;
+  const auto kept = douglas_peucker_indices(pts, tolerance);
+  for (std::size_t k = 1; k < kept.size(); ++k) {
+    for (std::size_t i = kept[k - 1]; i <= kept[k]; ++i) {
+      EXPECT_LE(point_segment_distance(pts[i], pts[kept[k - 1]], pts[kept[k]]),
+                tolerance + 1e-9);
+    }
+  }
+}
+
+TEST(DouglasPeucker, TinyInputs) {
+  EXPECT_TRUE(douglas_peucker_indices({}, 1.0).empty());
+  EXPECT_EQ(douglas_peucker_indices({{1, 1}}, 1.0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(douglas_peucker_indices({{0, 0}, {5, 5}}, 1.0),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_THROW(douglas_peucker_indices({{0, 0}}, -1.0), PreconditionError);
+}
+
+TEST(Simplify, PreservesJunctionPoints) {
+  Trajectory tr(TrajectoryId(1));
+  tr.append(loc(0, 0, 0, 0.0));
+  tr.append(loc(0, 50, 0, 1.0));
+  tr.append(loc(0, 100, 0, 2.0, /*junction=*/true));  // collinear but protected
+  tr.append(loc(1, 150, 0, 3.0));
+  tr.append(loc(1, 200, 0, 4.0));
+  const Trajectory slim = simplify(tr, 5.0);
+  bool junction_kept = false;
+  for (const Location& l : slim.points()) {
+    if (l.junction_point) junction_kept = true;
+  }
+  EXPECT_TRUE(junction_kept);
+  EXPECT_EQ(slim.front().pos, tr.front().pos);
+  EXPECT_EQ(slim.back().pos, tr.back().pos);
+  EXPECT_LE(slim.size(), tr.size());
+}
+
+TEST(Simplify, ShortTrajectoriesUntouched) {
+  Trajectory tr(TrajectoryId(1));
+  tr.append(loc(0, 0, 0, 0.0));
+  tr.append(loc(0, 10, 0, 1.0));
+  EXPECT_EQ(simplify(tr, 100.0).size(), 2u);
+  EXPECT_THROW(simplify(tr, -1.0), PreconditionError);
+}
+
+TEST(Simplify, ComposesWithPhase1) {
+  // Simplifying straight-road samples must not change the fragment
+  // structure: same segments, same order.
+  const roadnet::RoadNetwork net = testutil::line_network(4);
+  Trajectory tr(TrajectoryId(9));
+  double t = 0.0;
+  for (int seg = 0; seg < 4; ++seg) {
+    for (int i = 0; i < 5; ++i) {
+      tr.append(loc(seg, seg * 100.0 + 10.0 + i * 18.0, 0.0, t));
+      t += 1.0;
+    }
+  }
+  const Fragmenter fragmenter(net);
+  const auto before = fragmenter.fragment(tr);
+  const auto after = fragmenter.fragment(simplify(tr, 2.0));
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].sid, after[i].sid);
+  }
+}
+
+}  // namespace
+}  // namespace neat::traj

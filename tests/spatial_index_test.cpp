@@ -1,0 +1,133 @@
+// Tests for the segment grid index, including a brute-force equivalence
+// property sweep on random networks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+#include "roadnet/builder.h"
+#include "roadnet/generators.h"
+#include "roadnet/spatial_index.h"
+#include "test_util.h"
+
+namespace neat::roadnet {
+namespace {
+
+SegmentId brute_nearest(const RoadNetwork& net, Point p, double max_radius,
+                        double* out_dist = nullptr) {
+  SegmentId best = SegmentId::invalid();
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < net.segment_count(); ++i) {
+    const auto sid = SegmentId(static_cast<std::int32_t>(i));
+    const Segment& s = net.segment(sid);
+    const double d = point_segment_distance(p, net.node(s.a).pos, net.node(s.b).pos);
+    if (d < best_d) {
+      best_d = d;
+      best = sid;
+    }
+  }
+  if (best_d > max_radius) return SegmentId::invalid();
+  if (out_dist != nullptr) *out_dist = best_d;
+  return best;
+}
+
+TEST(SpatialIndex, NearestOnLine) {
+  const RoadNetwork net = testutil::line_network(5);
+  const SegmentGridIndex index(net);
+  double d = -1.0;
+  EXPECT_EQ(index.nearest_segment({250, 10}, 100.0, &d), SegmentId(2));
+  EXPECT_DOUBLE_EQ(d, 10.0);
+  EXPECT_EQ(index.nearest_segment({10, 5}, 100.0), SegmentId(0));
+}
+
+TEST(SpatialIndex, RespectsMaxRadius) {
+  const RoadNetwork net = testutil::line_network(5);
+  const SegmentGridIndex index(net);
+  EXPECT_FALSE(index.nearest_segment({250, 500}, 100.0).valid());
+  EXPECT_TRUE(index.nearest_segment({250, 500}, 1000.0).valid());
+}
+
+TEST(SpatialIndex, SegmentsWithinRadius) {
+  const RoadNetwork net = testutil::line_network(5);
+  const SegmentGridIndex index(net);
+  // Point above the junction between segments 1 and 2.
+  const auto hits = index.segments_within({200, 20}, 25.0);
+  EXPECT_EQ(hits, (std::vector<SegmentId>{SegmentId(1), SegmentId(2)}));
+  EXPECT_TRUE(index.segments_within({200, 2000}, 25.0).empty());
+}
+
+TEST(SpatialIndex, KNearestOrdering) {
+  const RoadNetwork net = testutil::fig1_network();
+  const SegmentGridIndex index(net);
+  // Near n2 but biased toward S2 (n2 -> n3).
+  const auto knn = index.k_nearest_segments({120, 5}, 2, 500.0);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0], SegmentId(1));  // S2: distance 5
+  EXPECT_EQ(knn[1], SegmentId(2));  // S3: perpendicular distance 20
+}
+
+TEST(SpatialIndex, KNearestLimitsCount) {
+  const RoadNetwork net = testutil::fig1_network();
+  const SegmentGridIndex index(net);
+  EXPECT_EQ(index.k_nearest_segments({100, 0}, 10, 1000.0).size(), 4u);
+  EXPECT_EQ(index.k_nearest_segments({100, 0}, 2, 1000.0).size(), 2u);
+}
+
+class IndexVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexVsBruteForce, NearestMatches) {
+  CityParams params;
+  params.rows = 12;
+  params.cols = 12;
+  params.spacing_m = 100.0;
+  params.seed = static_cast<std::uint64_t>(GetParam()) + 1;
+  const RoadNetwork net = make_city(params);
+  const SegmentGridIndex index(net);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const Bounds bb = net.bounding_box();
+  for (int k = 0; k < 60; ++k) {
+    const Point p{rng.uniform(bb.min.x - 100, bb.max.x + 100),
+                  rng.uniform(bb.min.y - 100, bb.max.y + 100)};
+    double d_index = -1.0;
+    double d_brute = -1.0;
+    const SegmentId by_index = index.nearest_segment(p, 400.0, &d_index);
+    const SegmentId by_brute = brute_nearest(net, p, 400.0, &d_brute);
+    EXPECT_EQ(by_index.valid(), by_brute.valid());
+    if (by_index.valid() && by_brute.valid()) {
+      // Distances must agree; the segment may differ only on exact ties.
+      EXPECT_NEAR(d_index, d_brute, 1e-9);
+    }
+  }
+}
+
+TEST_P(IndexVsBruteForce, RangeQueryMatches) {
+  CityParams params;
+  params.rows = 10;
+  params.cols = 10;
+  params.spacing_m = 80.0;
+  params.seed = static_cast<std::uint64_t>(GetParam()) + 77;
+  const RoadNetwork net = make_city(params);
+  const SegmentGridIndex index(net);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1234);
+  const Bounds bb = net.bounding_box();
+  for (int k = 0; k < 25; ++k) {
+    const Point p{rng.uniform(bb.min.x, bb.max.x), rng.uniform(bb.min.y, bb.max.y)};
+    const double radius = rng.uniform(20.0, 250.0);
+    const std::vector<SegmentId> got = index.segments_within(p, radius);
+    std::vector<SegmentId> want;
+    for (std::size_t i = 0; i < net.segment_count(); ++i) {
+      const auto sid = SegmentId(static_cast<std::int32_t>(i));
+      const Segment& s = net.segment(sid);
+      if (point_segment_distance(p, net.node(s.a).pos, net.node(s.b).pos) <= radius) {
+        want.push_back(sid);
+      }
+    }
+    EXPECT_EQ(got, want) << "at (" << p.x << ", " << p.y << ") r=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexVsBruteForce, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace neat::roadnet

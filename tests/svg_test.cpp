@@ -1,0 +1,78 @@
+// Tests for the SVG renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "eval/svg.h"
+#include "test_util.h"
+
+namespace neat::eval {
+namespace {
+
+roadnet::Bounds unit_box() { return {{0, 0}, {100, 50}}; }
+
+TEST(Svg, DocumentStructure) {
+  SvgWriter svg(unit_box(), 1000.0);
+  svg.add_polyline({{0, 0}, {100, 50}}, "#ff0000", 2.0);
+  svg.add_circle({50, 25}, 4.0, "#00ff00");
+  std::ostringstream os;
+  svg.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("<?xml"), std::string::npos);
+  EXPECT_NE(out.find("<svg"), std::string::npos);
+  EXPECT_NE(out.find("</svg>"), std::string::npos);
+  EXPECT_NE(out.find("<polyline"), std::string::npos);
+  EXPECT_NE(out.find("<circle"), std::string::npos);
+  EXPECT_NE(out.find("#ff0000"), std::string::npos);
+  EXPECT_EQ(svg.element_count(), 2u);
+}
+
+TEST(Svg, AspectRatioPreserved) {
+  SvgWriter svg(unit_box(), 1000.0);  // world 100x50 -> svg 1000x500
+  std::ostringstream os;
+  svg.write(os);
+  EXPECT_NE(os.str().find("height=\"500\""), std::string::npos);
+}
+
+TEST(Svg, YAxisFlipped) {
+  // World point (0, 50) (top-left in world coords) must map to svg y = 0.
+  SvgWriter svg(unit_box(), 100.0);
+  svg.add_circle({0, 50}, 1.0, "#000");
+  std::ostringstream os;
+  svg.write(os);
+  EXPECT_NE(os.str().find("cx=\"0.0\" cy=\"0.0\""), std::string::npos);
+}
+
+TEST(Svg, SkipsDegeneratePolylines) {
+  SvgWriter svg(unit_box());
+  svg.add_polyline({}, "#000");
+  svg.add_polyline({{1, 1}}, "#000");
+  EXPECT_EQ(svg.element_count(), 0u);
+}
+
+TEST(Svg, NetworkRendering) {
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  SvgWriter svg(net.bounding_box());
+  svg.add_network(net);
+  EXPECT_EQ(svg.element_count(), net.segment_count());
+}
+
+TEST(Svg, RejectsDegenerateViewport) {
+  EXPECT_THROW(SvgWriter({{0, 0}, {0, 10}}), PreconditionError);
+  EXPECT_THROW(SvgWriter(unit_box(), 0.0), PreconditionError);
+}
+
+TEST(Svg, PaletteCyclesDeterministically) {
+  EXPECT_EQ(SvgWriter::qualitative_color(0), SvgWriter::qualitative_color(10));
+  EXPECT_NE(SvgWriter::qualitative_color(0), SvgWriter::qualitative_color(1));
+  EXPECT_EQ(SvgWriter::qualitative_color(3).front(), '#');
+}
+
+TEST(Svg, FileErrors) {
+  SvgWriter svg(unit_box());
+  EXPECT_THROW(svg.write("/nonexistent/dir/out.svg"), Error);
+}
+
+}  // namespace
+}  // namespace neat::eval

@@ -1,0 +1,89 @@
+// Shared helpers for the NEAT test suite: small canonical networks and
+// trajectory builders.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "roadnet/builder.h"
+#include "roadnet/road_network.h"
+#include "traj/trajectory.h"
+
+namespace neat::testutil {
+
+/// A straight line of `n_segments` unit segments along the x axis:
+/// node i at (i * seg_len, 0), segment i connecting nodes i and i+1.
+inline roadnet::RoadNetwork line_network(int n_segments, double seg_len = 100.0,
+                                         double speed = 10.0) {
+  roadnet::RoadNetworkBuilder b;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i <= n_segments; ++i) nodes.push_back(b.add_node({i * seg_len, 0.0}));
+  for (int i = 0; i < n_segments; ++i) b.add_segment(nodes[i], nodes[i + 1], speed);
+  return b.build();
+}
+
+/// The star network of the paper's Figure 1(b):
+///   n1 (0,0) -- S1 -- n2 (100,0) -- S2 -- n3 (200,0)
+///   n2 -- S3 -- n4 (100,100)
+///   n2 -- S4 -- n5 (100,-100)
+/// Node ids are handed out in order n1..n5 (0-based), segment ids S1..S4
+/// (0-based), so SegmentId(0) is the paper's S1 and NodeId(1) is n2.
+inline roadnet::RoadNetwork fig1_network(double speed = 10.0) {
+  roadnet::RoadNetworkBuilder b;
+  const NodeId n1 = b.add_node({0.0, 0.0});
+  const NodeId n2 = b.add_node({100.0, 0.0});
+  const NodeId n3 = b.add_node({200.0, 0.0});
+  const NodeId n4 = b.add_node({100.0, 100.0});
+  const NodeId n5 = b.add_node({100.0, -100.0});
+  b.add_segment(n1, n2, speed);  // S1
+  b.add_segment(n2, n3, speed);  // S2
+  b.add_segment(n2, n4, speed);  // S3
+  b.add_segment(n2, n5, speed);  // S4
+  return b.build();
+}
+
+/// The (smallest-id) segment connecting two adjacent junctions.
+inline SegmentId find_segment(const roadnet::RoadNetwork& net, NodeId a, NodeId b) {
+  SegmentId best = SegmentId::invalid();
+  for (const SegmentId sid : net.segments_at(a)) {
+    if (net.other_endpoint(sid, a) == b && (!best.valid() || sid < best)) best = sid;
+  }
+  return best;
+}
+
+/// A trajectory that walks the junction path `nodes`, sampling two interior
+/// points (at 25% and 75%) on every traversed segment. Timestamps increase
+/// by 1 s per sample starting at `t0`.
+inline traj::Trajectory make_path_trajectory(const roadnet::RoadNetwork& net,
+                                             std::int64_t trid,
+                                             const std::vector<NodeId>& nodes,
+                                             double t0 = 0.0) {
+  traj::Trajectory tr{TrajectoryId(trid)};
+  double t = t0;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const SegmentId sid = find_segment(net, nodes[i - 1], nodes[i]);
+    const Point a = net.node(nodes[i - 1]).pos;
+    const Point b = net.node(nodes[i]).pos;
+    for (const double frac : {0.25, 0.75}) {
+      tr.append(traj::Location{sid, lerp(a, b, frac), t, false});
+      t += 1.0;
+    }
+  }
+  return tr;
+}
+
+/// The five trajectories realizing the paper's Figure 1(b) statistics:
+/// d(S1)=4, d(S2)=3, d(S3)=1, d(S4)=2; f(S1,S2)=2, f(S1,S3)=1, f(S1,S4)=1,
+/// f(S2,S3)=0, f(S2,S4)=1.
+inline std::vector<traj::Trajectory> fig1_trajectories(const roadnet::RoadNetwork& net) {
+  const NodeId n1(0), n2(1), n3(2), n4(3), n5(4);
+  return {
+      make_path_trajectory(net, 1, {n1, n2, n3}),  // S1, S2
+      make_path_trajectory(net, 2, {n1, n2, n3}),  // S1, S2
+      make_path_trajectory(net, 3, {n4, n2, n1}),  // S3, S1
+      make_path_trajectory(net, 4, {n5, n2, n3}),  // S4, S2
+      make_path_trajectory(net, 5, {n1, n2, n5}),  // S1, S4
+  };
+}
+
+}  // namespace neat::testutil

@@ -1,0 +1,327 @@
+// Tests for the TraClus baseline: the three-component segment distance on
+// hand-computed configurations, MDL partitioning on canonical shapes,
+// DBSCAN grouping, representative trajectories, and the full pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "traclus/grouping.h"
+#include "traclus/partition.h"
+#include "traclus/representative.h"
+#include "traclus/segment_distance.h"
+#include "traclus/traclus.h"
+#include "traj/dataset.h"
+
+namespace neat::traclus {
+namespace {
+
+traj::Trajectory make_traj(std::int64_t id, const std::vector<Point>& pts) {
+  traj::Trajectory tr{TrajectoryId(id)};
+  double t = 0.0;
+  for (const Point p : pts) {
+    tr.append(traj::Location{SegmentId(0), p, t, false});
+    t += 1.0;
+  }
+  return tr;
+}
+
+// --- segment distance ---------------------------------------------------------
+
+TEST(SegmentDistance, ParallelOffsetSegments) {
+  // Li = (0,0)-(10,0); Lj = (2,3)-(8,3): parallel, 3 above, fully inside.
+  const DistanceComponents d = segment_distance({0, 0}, {10, 0}, {2, 3}, {8, 3});
+  EXPECT_DOUBLE_EQ(d.perpendicular, 3.0);  // Lehmer mean of (3, 3)
+  EXPECT_DOUBLE_EQ(d.parallel, 2.0);       // min overhang: min(2, 2) = 2
+  EXPECT_DOUBLE_EQ(d.angular, 0.0);
+}
+
+TEST(SegmentDistance, IdenticalSegmentsAreZero) {
+  const DistanceComponents d = segment_distance({0, 0}, {10, 0}, {0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(d.total(), 0.0);
+}
+
+TEST(SegmentDistance, PerpendicularLehmerMean) {
+  // Lj endpoints at heights 3 and 6: (9 + 36) / (3 + 6) = 5.
+  const DistanceComponents d = segment_distance({0, 0}, {10, 0}, {4, 3}, {6, 6});
+  EXPECT_DOUBLE_EQ(d.perpendicular, 5.0);
+}
+
+TEST(SegmentDistance, AngularComponent) {
+  // Lj has length 2 at 30 degrees: d_theta = 2 * sin(30°) = 1.
+  const double c30 = std::cos(M_PI / 6);
+  const double s30 = std::sin(M_PI / 6);
+  const DistanceComponents d =
+      segment_distance({0, 0}, {10, 0}, {0, 0}, {2 * c30, 2 * s30});
+  EXPECT_NEAR(d.angular, 1.0, 1e-12);
+}
+
+TEST(SegmentDistance, OppositeDirectionUsesFullLength) {
+  // Lj points backwards: angular distance = |Lj| = 4.
+  const DistanceComponents d = segment_distance({0, 0}, {10, 0}, {8, 1}, {4, 1});
+  EXPECT_DOUBLE_EQ(d.angular, 4.0);
+}
+
+TEST(SegmentDistance, SymmetricInArguments) {
+  const DistanceComponents ab = segment_distance({0, 0}, {10, 0}, {2, 3}, {7, 5});
+  const DistanceComponents ba = segment_distance({2, 3}, {7, 5}, {0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(ab.perpendicular, ba.perpendicular);
+  EXPECT_DOUBLE_EQ(ab.parallel, ba.parallel);
+  EXPECT_DOUBLE_EQ(ab.angular, ba.angular);
+}
+
+TEST(SegmentDistance, DegeneratePointSegment) {
+  const DistanceComponents d = segment_distance({0, 0}, {10, 0}, {5, 4}, {5, 4});
+  EXPECT_DOUBLE_EQ(d.perpendicular, 4.0);
+  EXPECT_DOUBLE_EQ(d.angular, 0.0);
+}
+
+TEST(SegmentDistance, WeightedTotal) {
+  const DistanceComponents d{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.total(), 6.0);
+  EXPECT_DOUBLE_EQ(d.total(2.0, 0.5, 1.0), 6.0);
+}
+
+// --- MDL partitioning -----------------------------------------------------------
+
+TEST(Partition, StraightLineKeepsOnlyEndpoints) {
+  std::vector<Point> pts;
+  for (int i = 0; i <= 20; ++i) pts.push_back({i * 10.0, 0.0});
+  const auto marks = characteristic_indices(pts);
+  EXPECT_EQ(marks.front(), 0u);
+  EXPECT_EQ(marks.back(), 20u);
+  EXPECT_LE(marks.size(), 3u) << "a straight line needs no interior characteristic points";
+}
+
+TEST(Partition, SharpCornerDetected) {
+  // An L shape: right for 10 steps, then up for 10 steps.
+  std::vector<Point> pts;
+  for (int i = 0; i <= 10; ++i) pts.push_back({i * 20.0, 0.0});
+  for (int i = 1; i <= 10; ++i) pts.push_back({200.0, i * 20.0});
+  const auto marks = characteristic_indices(pts);
+  // Some characteristic point within 1 step of the corner (index 10).
+  const bool corner_found = std::any_of(marks.begin(), marks.end(), [](std::size_t m) {
+    return m >= 9 && m <= 11;
+  });
+  EXPECT_TRUE(corner_found) << "the 90-degree turn must be a characteristic point";
+}
+
+TEST(Partition, ShortInputsReturnedVerbatim) {
+  EXPECT_EQ(characteristic_indices({}).size(), 0u);
+  EXPECT_EQ(characteristic_indices({{0, 0}}).size(), 1u);
+  EXPECT_EQ(characteristic_indices({{0, 0}, {1, 1}}),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Partition, DatasetPartitionTagsTrajectories) {
+  traj::TrajectoryDataset data;
+  data.add(make_traj(5, {{0, 0}, {100, 0}, {200, 0}}));
+  data.add(make_traj(9, {{0, 50}, {100, 50}}));
+  const auto segs = partition_dataset(data, true);
+  ASSERT_GE(segs.size(), 2u);
+  for (const LineSeg& s : segs) {
+    EXPECT_TRUE(s.trid == TrajectoryId(5) || s.trid == TrajectoryId(9));
+    EXPECT_GT(s.length(), 0.0);
+  }
+}
+
+TEST(Partition, NoMdlKeepsEveryHop) {
+  traj::TrajectoryDataset data;
+  data.add(make_traj(1, {{0, 0}, {10, 0}, {20, 0}, {30, 0}}));
+  EXPECT_EQ(partition_dataset(data, false).size(), 3u);
+  // Zero-length hops are skipped.
+  traj::TrajectoryDataset dup;
+  dup.add(make_traj(2, {{0, 0}, {0, 0}, {10, 0}}));
+  EXPECT_EQ(partition_dataset(dup, false).size(), 1u);
+}
+
+// --- grouping -------------------------------------------------------------------
+
+std::vector<LineSeg> bundle_and_outlier() {
+  // 6 nearly identical horizontal segments (a dense bundle, distinct
+  // trajectories) plus one far-away outlier.
+  std::vector<LineSeg> segs;
+  for (int i = 0; i < 6; ++i) {
+    segs.push_back(LineSeg{{0.0, i * 1.0}, {100.0, i * 1.0}, TrajectoryId(i)});
+  }
+  segs.push_back(LineSeg{{0.0, 500.0}, {100.0, 500.0}, TrajectoryId(99)});
+  return segs;
+}
+
+TEST(Grouping, BundleClustersOutlierIsNoise) {
+  GroupingConfig cfg;
+  cfg.epsilon = 10.0;
+  cfg.min_lns = 3;
+  const GroupingResult res = group_segments(bundle_and_outlier(), cfg);
+  EXPECT_EQ(res.num_clusters, 1u);
+  EXPECT_EQ(res.noise_segments, 1u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(res.labels[static_cast<std::size_t>(i)], 0);
+  EXPECT_EQ(res.labels[6], -1);
+}
+
+TEST(Grouping, MinLnsGate) {
+  GroupingConfig cfg;
+  cfg.epsilon = 10.0;
+  cfg.min_lns = 8;  // bundle of 6 cannot reach core status
+  const GroupingResult res = group_segments(bundle_and_outlier(), cfg);
+  EXPECT_EQ(res.num_clusters, 0u);
+  EXPECT_EQ(res.noise_segments, 7u);
+}
+
+TEST(Grouping, TrajectoryCardinalityCheckDropsSingleTrajectoryClusters) {
+  // A dense bundle contributed by ONE trajectory only: passes density but
+  // must be dropped by the trajectory-cardinality check.
+  std::vector<LineSeg> segs;
+  for (int i = 0; i < 6; ++i) {
+    segs.push_back(LineSeg{{0.0, i * 1.0}, {100.0, i * 1.0}, TrajectoryId(1)});
+  }
+  GroupingConfig cfg;
+  cfg.epsilon = 10.0;
+  cfg.min_lns = 3;
+  const GroupingResult res = group_segments(segs, cfg);
+  EXPECT_EQ(res.num_clusters, 0u);
+}
+
+TEST(Grouping, EmptyInputAndValidation) {
+  GroupingConfig cfg;
+  EXPECT_EQ(group_segments({}, cfg).num_clusters, 0u);
+  cfg.epsilon = -1.0;
+  EXPECT_THROW(group_segments({}, cfg), PreconditionError);
+  cfg = GroupingConfig{};
+  cfg.min_lns = 0;
+  EXPECT_THROW(group_segments({}, cfg), PreconditionError);
+}
+
+TEST(Grouping, ZeroSpatialWeightFallsBackToFullScan) {
+  // With w_perp = 0 no spatial bound exists; the grid must degrade to a
+  // full scan (bounded by the occupied extent) rather than miss neighbours
+  // or hang. Two parallel bundles far apart but with tiny angular distance:
+  // under (0, 0, 1) weights they are *all* within epsilon of each other.
+  std::vector<LineSeg> segs;
+  for (int i = 0; i < 4; ++i) {
+    segs.push_back(LineSeg{{0.0, i * 1.0}, {100.0, i * 1.0}, TrajectoryId(i)});
+    segs.push_back(LineSeg{{5000.0, i * 1.0}, {5100.0, i * 1.0}, TrajectoryId(10 + i)});
+  }
+  GroupingConfig cfg;
+  cfg.epsilon = 5.0;
+  cfg.min_lns = 3;
+  cfg.w_perp = 0.0;
+  cfg.w_par = 0.0;
+  cfg.w_ang = 1.0;
+  const GroupingResult res = group_segments(segs, cfg);
+  // All segments are parallel: angular distance 0 everywhere -> one cluster.
+  EXPECT_EQ(res.num_clusters, 1u);
+  for (const int label : res.labels) EXPECT_EQ(label, 0);
+}
+
+TEST(Grouping, CountsDistanceComputations) {
+  GroupingConfig cfg;
+  cfg.epsilon = 10.0;
+  cfg.min_lns = 3;
+  const GroupingResult res = group_segments(bundle_and_outlier(), cfg);
+  EXPECT_GT(res.distance_computations, 0u);
+}
+
+// --- representative trajectory -----------------------------------------------
+
+TEST(Representative, BundleAveragesToCenterline) {
+  std::vector<LineSeg> members;
+  for (int i = 0; i < 5; ++i) {
+    members.push_back(LineSeg{{0.0, i * 2.0}, {100.0, i * 2.0}, TrajectoryId(i)});
+  }
+  const std::vector<Point> rep = representative_trajectory(members, 3, 5.0);
+  ASSERT_GE(rep.size(), 2u);
+  for (const Point p : rep) {
+    EXPECT_NEAR(p.y, 4.0, 1e-6) << "representative must run through the bundle center";
+  }
+  EXPECT_NEAR(polyline_length(rep), 100.0, 1.0);
+}
+
+TEST(Representative, MixedDirectionsStillAlign) {
+  // Half the segments point backwards; the average direction logic flips
+  // them so they reinforce.
+  std::vector<LineSeg> members;
+  for (int i = 0; i < 4; ++i) {
+    if (i % 2 == 0) {
+      members.push_back(LineSeg{{0.0, i * 1.0}, {100.0, i * 1.0}, TrajectoryId(i)});
+    } else {
+      members.push_back(LineSeg{{100.0, i * 1.0}, {0.0, i * 1.0}, TrajectoryId(i)});
+    }
+  }
+  const std::vector<Point> rep = representative_trajectory(members, 2, 5.0);
+  EXPECT_GE(rep.size(), 2u);
+}
+
+TEST(Representative, InsufficientOverlapGivesEmpty) {
+  // Two segments that never overlap in X': sweep count stays below MinLns.
+  std::vector<LineSeg> members{
+      LineSeg{{0, 0}, {10, 0}, TrajectoryId(1)},
+      LineSeg{{100, 0}, {110, 0}, TrajectoryId(2)},
+  };
+  EXPECT_TRUE(representative_trajectory(members, 2, 1.0).empty());
+  EXPECT_TRUE(representative_trajectory({}, 2, 1.0).empty());
+}
+
+TEST(Representative, GammaControlsPointSpacing) {
+  std::vector<LineSeg> members;
+  for (int i = 0; i < 5; ++i) {
+    members.push_back(
+        LineSeg{{i * 1.0, 0.0}, {100.0 + i * 1.0, 0.0}, TrajectoryId(i)});
+  }
+  const auto coarse = representative_trajectory(members, 3, 50.0);
+  const auto fine = representative_trajectory(members, 3, 1.0);
+  EXPECT_LT(coarse.size(), fine.size());
+}
+
+// --- full pipeline ----------------------------------------------------------------
+
+TEST(TraClusRun, EndToEndOnSyntheticBundles) {
+  // Two spatially separated bundles of straight trajectories -> exactly two
+  // clusters, each with a representative of roughly bundle length.
+  traj::TrajectoryDataset data;
+  std::int64_t id = 0;
+  for (int i = 0; i < 5; ++i) {
+    data.add(make_traj(++id, {{0.0, i * 2.0}, {150.0, i * 2.0}, {300.0, i * 2.0}}));
+  }
+  for (int i = 0; i < 5; ++i) {
+    data.add(make_traj(++id, {{0.0, 1000.0 + i * 2.0}, {150.0, 1000.0 + i * 2.0},
+                              {300.0, 1000.0 + i * 2.0}}));
+  }
+  Config cfg;
+  cfg.epsilon = 15.0;
+  cfg.min_lns = 3;
+  const Result res = run(data, cfg);
+  EXPECT_EQ(res.clusters.size(), 2u);
+  for (const Cluster& c : res.clusters) {
+    EXPECT_GE(c.trajectory_cardinality, 3);
+    EXPECT_NEAR(c.representative_length, 300.0, 30.0);
+  }
+  EXPECT_GT(res.distance_computations, 0u);
+}
+
+TEST(TraClusRun, SmallEpsilonFragmentsClusters) {
+  // The paper's Figure 4 observation: tighter (eps, MinLns) yields many more
+  // (and shorter) clusters than the tuned setting.
+  traj::TrajectoryDataset data;
+  std::int64_t id = 0;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Point> pts;
+    // L-shaped trips with slight lateral offsets.
+    for (int k = 0; k <= 6; ++k) pts.push_back({k * 50.0, i * 3.0});
+    for (int k = 1; k <= 6; ++k) pts.push_back({300.0 + i * 3.0, k * 50.0});
+    data.add(make_traj(++id, pts));
+  }
+  Config tuned;
+  tuned.epsilon = 20.0;
+  tuned.min_lns = 3;
+  Config tight;
+  tight.epsilon = 2.0;
+  tight.min_lns = 1;
+  const Result a = run(data, tuned);
+  const Result b = run(data, tight);
+  EXPECT_GE(b.clusters.size(), a.clusters.size());
+}
+
+}  // namespace
+}  // namespace neat::traclus

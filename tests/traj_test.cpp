@@ -1,0 +1,89 @@
+// Tests for trajectories and datasets.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+
+namespace neat::traj {
+namespace {
+
+Location loc(int sid, double x, double y, double t) {
+  return Location{SegmentId(sid), {x, y}, t, false};
+}
+
+TEST(Trajectory, AppendMaintainsTimeOrder) {
+  Trajectory tr(TrajectoryId(1));
+  tr.append(loc(0, 0, 0, 0.0));
+  tr.append(loc(0, 10, 0, 1.0));
+  tr.append(loc(0, 10, 0, 1.0));  // equal timestamps are fine
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_THROW(tr.append(loc(0, 20, 0, 0.5)), PreconditionError);
+}
+
+TEST(Trajectory, ConstructorValidates) {
+  EXPECT_THROW(Trajectory(TrajectoryId(1), {loc(0, 0, 0, 5.0), loc(0, 1, 0, 4.0)}),
+               PreconditionError);
+}
+
+TEST(Trajectory, Accessors) {
+  Trajectory tr(TrajectoryId(9), {loc(0, 0, 0, 0.0), loc(1, 3, 4, 2.0)});
+  EXPECT_EQ(tr.id(), TrajectoryId(9));
+  EXPECT_EQ(tr.front().sid, SegmentId(0));
+  EXPECT_EQ(tr.back().sid, SegmentId(1));
+  EXPECT_EQ(tr.point(1).pos, (Point{3, 4}));
+  EXPECT_THROW(static_cast<void>(tr.point(2)), PreconditionError);
+  const Trajectory empty(TrajectoryId(2));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(static_cast<void>(empty.front()), PreconditionError);
+  EXPECT_THROW(static_cast<void>(empty.back()), PreconditionError);
+}
+
+TEST(Trajectory, PathLengthAndDuration) {
+  Trajectory tr(TrajectoryId(1),
+                {loc(0, 0, 0, 0.0), loc(0, 3, 4, 2.0), loc(0, 3, 14, 7.0)});
+  EXPECT_DOUBLE_EQ(tr.path_length(), 15.0);
+  EXPECT_DOUBLE_EQ(tr.duration(), 7.0);
+  EXPECT_DOUBLE_EQ(Trajectory(TrajectoryId(2)).duration(), 0.0);
+}
+
+TEST(Dataset, AddAndQuery) {
+  TrajectoryDataset data;
+  EXPECT_TRUE(data.empty());
+  data.add(Trajectory(TrajectoryId(1), {loc(0, 0, 0, 0.0), loc(0, 1, 0, 1.0)}));
+  data.add(Trajectory(TrajectoryId(2), {loc(1, 0, 0, 0.0)}));
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.total_points(), 3u);
+  EXPECT_EQ(data[1].id(), TrajectoryId(2));
+  EXPECT_THROW(static_cast<void>(data[2]), PreconditionError);
+}
+
+TEST(Dataset, RejectsDuplicateIdsAndEmpties) {
+  TrajectoryDataset data;
+  data.add(Trajectory(TrajectoryId(1), {loc(0, 0, 0, 0.0)}));
+  EXPECT_THROW(data.add(Trajectory(TrajectoryId(1), {loc(0, 1, 0, 0.0)})),
+               PreconditionError);
+  EXPECT_THROW(data.add(Trajectory(TrajectoryId(3))), PreconditionError);
+}
+
+TEST(Dataset, Stats) {
+  TrajectoryDataset data;
+  data.add(Trajectory(TrajectoryId(1), {loc(0, 0, 0, 0.0), loc(0, 30, 40, 10.0)}));
+  data.add(Trajectory(TrajectoryId(2), {loc(0, 0, 0, 0.0), loc(0, 0, 10, 2.0),
+                                        loc(0, 0, 20, 4.0)}));
+  const DatasetStats st = data.stats();
+  EXPECT_EQ(st.num_trajectories, 2u);
+  EXPECT_EQ(st.num_points, 5u);
+  EXPECT_DOUBLE_EQ(st.avg_points_per_trajectory, 2.5);
+  EXPECT_DOUBLE_EQ(st.avg_path_length_m, (50.0 + 20.0) / 2.0);
+  EXPECT_DOUBLE_EQ(st.avg_duration_s, 7.0);
+}
+
+TEST(Dataset, EmptyStats) {
+  const DatasetStats st = TrajectoryDataset{}.stats();
+  EXPECT_EQ(st.num_trajectories, 0u);
+  EXPECT_DOUBLE_EQ(st.avg_points_per_trajectory, 0.0);
+}
+
+}  // namespace
+}  // namespace neat::traj
