@@ -1,0 +1,138 @@
+// Serve-path micro-benchmark: query throughput and latency of the
+// src/serve/ subsystem, and the cost (to readers) of snapshot publication.
+//
+// Two measured conditions, each reported from the built-in metrics
+// histogram (log2 buckets, so percentiles are bucket upper edges):
+//   idle     — query threads against one static snapshot, no publishes;
+//   publish  — the same read workload while the writer republishes a fresh
+//              snapshot version continuously (RCU churn).
+// The serving design claims readers never block on a publish; the check row
+// asserts the publish-condition p99 stays within 5x the idle p99.
+//
+//   $ ./serve_latency [query_threads] [seconds_per_condition]
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "core/clusterer.h"
+#include "eval/experiments.h"
+#include "eval/table.h"
+#include "roadnet/generators.h"
+#include "serve/query_engine.h"
+#include "sim/mobility_simulator.h"
+
+using namespace neat;
+
+namespace {
+
+struct ConditionStats {
+  double qps{0.0};
+  double p50_s{0.0};
+  double p99_s{0.0};
+  std::uint64_t queries{0};
+  std::uint64_t publishes{0};
+};
+
+// Runs `query_threads` mixed-workload readers for `seconds`; when `publish`
+// is set, the main thread concurrently republishes the snapshot (fresh
+// version, same content) as fast as it can.
+ConditionStats run_condition(const roadnet::RoadNetwork& net,
+                             const std::vector<FlowCluster>& flows,
+                             const std::vector<FinalCluster>& finals,
+                             unsigned query_threads, double seconds, bool publish) {
+  serve::SnapshotStore store;
+  serve::Metrics metrics;
+  std::uint64_t version = 1;
+  store.publish(serve::ClusterSnapshot::build(net, flows, finals, version));
+  const serve::QueryEngine engine(net, store, &metrics);
+  const roadnet::Bounds bb = net.bounding_box();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < query_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(42 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        const Point p{rng.uniform(bb.min.x, bb.max.x), rng.uniform(bb.min.y, bb.max.y)};
+        (void)engine.nearest_flow(p, 400.0);
+        const auto sid = SegmentId(static_cast<std::int32_t>(
+            rng.uniform_int(0, static_cast<int>(net.segment_count()) - 1)));
+        (void)engine.flows_on_segment(sid);
+        (void)engine.top_k_flows(5);
+      }
+    });
+  }
+
+  ConditionStats out;
+  const Stopwatch wall;
+  if (publish) {
+    while (wall.elapsed_seconds() < seconds) {
+      store.publish(serve::ClusterSnapshot::build(net, flows, finals, ++version));
+      ++out.publishes;
+    }
+  } else {
+    while (wall.elapsed_seconds() < seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  const double elapsed = wall.elapsed_seconds();
+
+  const serve::MetricsSnapshot m = metrics.snapshot();
+  out.queries = m.queries_total;
+  out.qps = static_cast<double>(m.queries_total) / elapsed;
+  out.p50_s = m.query_p50_s;
+  out.p99_s = m.query_p99_s;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned query_threads = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 1.5;
+
+  // One servable clustering result to query.
+  roadnet::CityParams params;
+  params.rows = 22;
+  params.cols = 22;
+  params.seed = 7;
+  const roadnet::RoadNetwork net = roadnet::make_city(params);
+  const sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
+  const traj::TrajectoryDataset data =
+      sim::MobilitySimulator(net, sim_cfg).generate(400, 31);
+  Config cfg;
+  cfg.refine.epsilon = 2000.0;
+  const Result res = NeatClusterer(net, cfg).run(data);
+  std::cout << "workload: " << net.segment_count() << " segments, "
+            << res.flow_clusters.size() << " flows, " << query_threads
+            << " query threads, " << seconds << " s per condition\n\n";
+
+  const ConditionStats idle = run_condition(net, res.flow_clusters, res.final_clusters,
+                                            query_threads, seconds, false);
+  const ConditionStats churn = run_condition(net, res.flow_clusters, res.final_clusters,
+                                             query_threads, seconds, true);
+
+  eval::TextTable table({"condition", "queries", "q/s", "p50 us", "p99 us", "publishes"});
+  const auto us = [](double s) { return format_fixed(s * 1e6, 1); };
+  table.add_row({"idle", std::to_string(idle.queries),
+                 format_fixed(idle.qps, 0), us(idle.p50_s), us(idle.p99_s), "0"});
+  table.add_row({"publish-churn", std::to_string(churn.queries),
+                 format_fixed(churn.qps, 0), us(churn.p50_s), us(churn.p99_s),
+                 std::to_string(churn.publishes)});
+  table.print(std::cout);
+  table.write_csv(str_cat(eval::results_dir(), "/serve_latency.csv"));
+
+  const double limit = 5.0 * idle.p99_s;
+  const bool ok = churn.p99_s <= limit;
+  std::cout << "\npublish does not block readers: p99 under churn " << us(churn.p99_s)
+            << " us vs limit " << us(limit) << " us (5x idle p99) — "
+            << (ok ? "OK" : "EXCEEDED") << '\n';
+  return ok ? 0 : 1;
+}

@@ -6,7 +6,8 @@
 //
 //   $ ./neat_cli --network net.csv --trajectories trips.csv
 //                [--mode base|flow|opt] [--epsilon M] [--min-card N|auto]
-//                [--wq X --wk Y --wv Z] [--beta B] [--no-elb] [--out prefix]
+//                [--wq X --wk Y --wv Z] [--beta B] [--no-elb]
+//                [--threads N] [--out prefix]
 //
 // Try it end to end (generates its own demo inputs when given --demo):
 //   $ ./neat_cli --demo
@@ -43,7 +44,7 @@ struct CliOptions {
             << "usage: neat_cli --network NET.csv --trajectories TRIPS.csv\n"
             << "                [--mode base|flow|opt] [--epsilon METRES]\n"
             << "                [--min-card N|auto] [--wq X --wk Y --wv Z]\n"
-            << "                [--beta B|inf] [--no-elb] [--out PREFIX]\n"
+            << "                [--beta B|inf] [--no-elb] [--threads N] [--out PREFIX]\n"
             << "       neat_cli --demo   (self-contained demonstration)\n";
   std::exit(2);
 }
@@ -84,6 +85,10 @@ CliOptions parse_args(int argc, char** argv) {
         const std::string v = next_value(i);
         opt.config.flow.beta =
             (v == "inf") ? std::numeric_limits<double>::infinity() : parse_double(v);
+      } else if (arg == "--threads") {
+        const std::int64_t n = parse_int(next_value(i));
+        if (n < 0) usage("--threads must be >= 0 (0/1 = serial)");
+        opt.config.phase1_threads = static_cast<unsigned>(n);
       } else if (arg == "--no-elb") {
         opt.config.refine.use_elb = false;
       } else if (arg == "--demo") {

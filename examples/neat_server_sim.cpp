@@ -5,23 +5,28 @@
 // trajectory datasets across multiple nodes in a cluster. These data nodes
 // can perform some data preprocessing tasks."
 //
-// This example runs the whole loop in-process:
-//   clients  -> upload trips to data nodes (TrajectoryStore per node)
-//   data nodes -> Phase 1 preprocessing on their shard
-//   coordinator -> merges base clusters, runs Phases 2-3
-//   server   -> persists the servable snapshot, answers a client query
+// This example runs the whole loop in-process on the real serving subsystem
+// (src/serve/):
+//   clients    -> upload trip batches through IngestService (bounded queue)
+//   server     -> background worker clusters each batch incrementally and
+//                 publishes an immutable, versioned ClusterSnapshot
+//   clients    -> query the QueryEngine ("flows near me", "what runs on this
+//                 road", "busiest corridors") against the live snapshot
+//   operations -> scrape the built-in metrics as JSON
+// The final snapshot is also persisted with core/result_io, the durable
+// half of the serving story.
 //
 //   $ ./neat_server_sim
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 
-#include "core/distributed.h"
 #include "core/result_io.h"
 #include "eval/geojson.h"
 #include "roadnet/generators.h"
+#include "serve/ingest_service.h"
+#include "serve/query_engine.h"
 #include "sim/mobility_simulator.h"
-#include "store/trajectory_store.h"
 
 using namespace neat;
 
@@ -35,67 +40,73 @@ int main() {
   const roadnet::RoadNetwork net = roadnet::make_city(params);
   std::cout << "map: " << net.segment_count() << " segments\n";
 
-  // --- tier 1: clients record trips and upload round-robin to data nodes.
-  const sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
-  const sim::MobilitySimulator simulator(net, sim_cfg);
-  const traj::TrajectoryDataset uploads = simulator.generate(300, 77);
-
-  constexpr std::size_t kDataNodes = 3;
-  std::vector<store::TrajectoryStore> nodes(kDataNodes, store::TrajectoryStore(net));
-  for (std::size_t i = 0; i < uploads.size(); ++i) {
-    nodes[i % kDataNodes].insert(uploads[i]);
-  }
-  for (std::size_t n = 0; n < kDataNodes; ++n) {
-    const store::StoreStats st = nodes[n].stats();
-    std::cout << "data node " << n << ": " << st.num_trajectories << " trips, "
-              << st.num_points << " points, " << st.num_traversals
-              << " indexed traversals\n";
-  }
-
-  // --- tier 2: each data node preprocesses its shard (Phase 1);
-  //             the coordinator merges and finishes Phases 2-3.
-  std::vector<traj::TrajectoryDataset> shards;
-  shards.reserve(kDataNodes);
-  for (const auto& node : nodes) shards.push_back(node.snapshot());
-  std::vector<const traj::TrajectoryDataset*> shard_ptrs;
-  for (const auto& s : shards) shard_ptrs.push_back(&s);
-
+  // --- the serving stack: snapshot store + metrics + ingest + query engine.
   Config cfg;
   cfg.refine.epsilon = 2000.0;
-  cfg.phase1_threads = 2;  // each data node parallelizes its own shard
-  const Result result = run_sharded(net, shard_ptrs, cfg);
-  std::cout << "coordinator: " << result.base_clusters.size() << " base clusters -> "
-            << result.flow_clusters.size() << " flows -> " << result.final_clusters.size()
-            << " clusters (" << result.timing.total_s() * 1000 << " ms)\n";
+  cfg.phase1_threads = 2;
+  serve::SnapshotStore store;
+  serve::Metrics metrics;
+  serve::IngestOptions opts;
+  opts.queue_capacity = 4;
+  serve::IngestService ingest(net, cfg, store, metrics, opts);
+  const serve::QueryEngine engine(net, store, &metrics);
 
-  // --- tier 3: the server persists the servable snapshot and answers a
-  //             client request ("clusters near me, please").
-  std::filesystem::create_directories("server_out");
-  const ClusteringSnapshot snapshot{result.flow_clusters, result.final_clusters};
-  save_snapshot(snapshot, "server_out/snapshot.csv");
-  const ClusteringSnapshot served = load_snapshot("server_out/snapshot.csv");
-  std::cout << "server: snapshot persisted and reloaded (" << served.flows.size()
-            << " flows)\n";
+  // --- tier 1: clients record trips and upload them in batches. Each batch
+  // is clustered incrementally by the background worker; a new snapshot
+  // version appears after each one without ever blocking queries.
+  const sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, sim_cfg);
+  constexpr std::size_t kBatches = 3;
+  constexpr std::size_t kTripsPerBatch = 100;
+  std::int64_t next_id = 0;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    const traj::TrajectoryDataset raw =
+        simulator.generate(kTripsPerBatch, 77 + static_cast<std::uint64_t>(b));
+    traj::TrajectoryDataset batch;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      batch.add(traj::Trajectory(TrajectoryId(next_id++), raw[i].points()));
+    }
+    ingest.submit(std::move(batch));
+    std::cout << "client upload: batch " << b + 1 << " (" << kTripsPerBatch
+              << " trips) queued\n";
+  }
+  ingest.flush();
+  const auto snap = engine.snapshot();
+  std::cout << "server: snapshot v" << snap->version() << " live — "
+            << snap->flows().size() << " flows, " << snap->final_clusters().size()
+            << " clusters\n";
 
-  // Client query: flows passing within 400 m of the client's position.
+  // --- tier 3: client queries against the live snapshot.
   const roadnet::Bounds bb = net.bounding_box();
   const Point client{(bb.min.x + bb.max.x) / 2, (bb.min.y + bb.max.y) / 2};
-  std::size_t nearby = 0;
-  for (const FlowCluster& f : served.flows) {
-    for (const NodeId j : f.junctions) {
-      if (distance(net.node(j).pos, client) <= 400.0) {
-        ++nearby;
-        break;
-      }
-    }
+  if (const auto hit = engine.nearest_flow(client, 1500.0)) {
+    std::cout << "client at city center: nearest flow #" << hit->flow << " ("
+              << hit->cardinality << " trips) passes " << hit->distance_m
+              << " m away on segment " << hit->segment << '\n';
+    const serve::SegmentFlows on_seg = engine.flows_on_segment(hit->segment);
+    std::cout << "that road carries " << on_seg.flows.size() << " flow(s)\n";
+  } else {
+    std::cout << "client at city center: no flow within 1500 m\n";
   }
-  std::cout << "client at city center: " << nearby << "/" << served.flows.size()
-            << " major flows within 400 m\n";
+  const serve::TopFlows top = engine.top_k_flows(5);
+  std::cout << "busiest corridors (top " << top.flows.size() << "):\n";
+  for (const serve::RankedFlow& f : top.flows) {
+    std::cout << "  flow #" << f.flow << ": " << f.cardinality << " trips over "
+              << f.route_length_m << " m (cluster " << f.final_cluster << ")\n";
+  }
 
-  // And a GeoJSON payload any map client could render.
+  // --- operations: scrape the built-in metrics.
+  std::cout << "metrics: " << metrics.to_json() << '\n';
+
+  // --- durability: persist the served snapshot and a GeoJSON payload any
+  // map client could render.
+  std::filesystem::create_directories("server_out");
+  const ClusteringSnapshot persisted{snap->flows(), snap->final_clusters()};
+  save_snapshot(persisted, "server_out/snapshot.csv");
   const std::string geojson =
-      eval::flows_to_geojson(net, served.flows, &served.final_clusters);
+      eval::flows_to_geojson(net, snap->flows(), &snap->final_clusters());
   std::ofstream("server_out/flows.geojson") << geojson;
-  std::cout << "server_out/flows.geojson written (" << geojson.size() << " bytes)\n";
+  std::cout << "server_out/snapshot.csv and flows.geojson written ("
+            << geojson.size() << " bytes of GeoJSON)\n";
   return 0;
 }

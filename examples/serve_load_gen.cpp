@@ -1,0 +1,89 @@
+// Load generator for the serving subsystem: N client threads fire queries
+// at a QueryEngine while a feeder thread keeps uploading trajectory batches
+// through the IngestService, so snapshots are republished under live read
+// traffic. Prints per-run throughput and the built-in metrics JSON.
+//
+//   $ ./serve_load_gen [query_threads] [batches] [trips_per_batch]
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "roadnet/generators.h"
+#include "serve/ingest_service.h"
+#include "serve/query_engine.h"
+#include "sim/mobility_simulator.h"
+
+using namespace neat;
+
+int main(int argc, char** argv) {
+  const unsigned query_threads = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const std::size_t batches = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 5;
+  const std::size_t trips = argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 80;
+
+  roadnet::CityParams params;
+  params.rows = 20;
+  params.cols = 20;
+  params.seed = 11;
+  const roadnet::RoadNetwork net = roadnet::make_city(params);
+  const roadnet::Bounds bb = net.bounding_box();
+
+  Config cfg;
+  cfg.refine.epsilon = 1500.0;
+  serve::SnapshotStore store;
+  serve::Metrics metrics;
+  serve::IngestService ingest(net, cfg, store, metrics);
+  const serve::QueryEngine engine(net, store, &metrics);
+
+  // Feeder: upload all batches, then raise the done flag.
+  std::atomic<bool> done{false};
+  const sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, sim_cfg);
+  std::thread feeder([&] {
+    std::int64_t next_id = 0;
+    for (std::size_t b = 0; b < batches; ++b) {
+      const traj::TrajectoryDataset raw =
+          simulator.generate(trips, 900 + static_cast<std::uint64_t>(b));
+      traj::TrajectoryDataset batch;
+      for (std::size_t i = 0; i < raw.size(); ++i) {
+        batch.add(traj::Trajectory(TrajectoryId(next_id++), raw[i].points()));
+      }
+      ingest.submit(std::move(batch));
+    }
+    ingest.flush();
+    done.store(true, std::memory_order_release);
+  });
+
+  // Clients: mixed query workload until the feeder finishes.
+  std::atomic<std::uint64_t> answered{0};
+  std::vector<std::thread> clients;
+  const Stopwatch wall;
+  for (unsigned t = 0; t < query_threads; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      while (!done.load(std::memory_order_acquire)) {
+        const Point p{rng.uniform(bb.min.x, bb.max.x), rng.uniform(bb.min.y, bb.max.y)};
+        (void)engine.nearest_flow(p, 500.0);
+        (void)engine.top_k_flows(3);
+        const auto sid = SegmentId(static_cast<std::int32_t>(
+            rng.uniform_int(0, static_cast<int>(net.segment_count()) - 1)));
+        (void)engine.flows_on_segment(sid);
+        answered.fetch_add(3, std::memory_order_relaxed);
+      }
+    });
+  }
+  feeder.join();
+  for (auto& c : clients) c.join();
+  const double secs = wall.elapsed_seconds();
+
+  std::cout << query_threads << " query threads, " << batches << " batches of " << trips
+            << " trips\n"
+            << answered.load() << " queries in " << secs << " s ("
+            << static_cast<std::uint64_t>(answered.load() / secs) << " q/s), final snapshot v"
+            << store.version() << '\n'
+            << "metrics: " << metrics.to_json() << '\n';
+  return 0;
+}

@@ -1,15 +1,37 @@
 #include "core/distributed.h"
 
 #include <unordered_map>
+#include <unordered_set>
 
 #include <algorithm>
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 
 namespace neat {
 
 Phase1Output merge_phase1_outputs(std::vector<Phase1Output> shards) {
+  // A trajectory id appearing in two shards means the shards do not
+  // partition the dataset; merging would silently collapse the two
+  // trajectories' fragments into one participant.
+  {
+    std::unordered_set<TrajectoryId> earlier_shards;
+    std::unordered_set<TrajectoryId> this_shard;
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      this_shard.clear();
+      for (const BaseCluster& c : shards[s].base_clusters) {
+        for (const TrajectoryId trid : c.participants()) this_shard.insert(trid);
+      }
+      for (const TrajectoryId trid : this_shard) {
+        NEAT_EXPECT(!earlier_shards.contains(trid),
+                    str_cat("trajectory id ", trid.value(), " appears in shard ", s,
+                            " and an earlier shard; shards must partition the dataset"));
+      }
+      earlier_shards.merge(this_shard);
+    }
+  }
+
   Phase1Output merged;
   // Segment id -> index in the merged cluster vector.
   std::vector<BaseCluster> clusters;

@@ -25,8 +25,10 @@ namespace neat {
 /// the same segment and re-sorting by (density desc, sid asc). Fragments of
 /// a shared segment are concatenated in shard order, so passing shards that
 /// partition a dataset contiguously reproduces the monolithic output
-/// exactly. Trajectory ids must not repeat across shards (unchecked here;
-/// the ids come from upstream validation).
+/// exactly. Trajectory ids must not repeat across shards — a duplicate
+/// would silently deflate trajectory cardinalities (two shards' fragments
+/// of "different" trajectories collapsing into one participant), so the
+/// merge checks and throws neat::PreconditionError naming the offending id.
 [[nodiscard]] Phase1Output merge_phase1_outputs(std::vector<Phase1Output> shards);
 
 /// Runs the full sharded pipeline: Phase 1 per shard (sequentially here —

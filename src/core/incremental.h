@@ -12,6 +12,7 @@
 #pragma once
 
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/clusterer.h"
@@ -47,6 +48,16 @@ class IncrementalClusterer {
   [[nodiscard]] const std::vector<FinalCluster>& clusters() const { return clusters_; }
 
   [[nodiscard]] std::size_t batches_processed() const { return batches_; }
+
+  /// Deep copy of the current servable state (kept flows + final clusters),
+  /// decoupled from this clusterer's lifetime. The snapshot-extraction hook
+  /// for serving layers (serve::IngestService publishes the copy as an
+  /// immutable serve::ClusterSnapshot while add_batch keeps mutating the
+  /// live state).
+  [[nodiscard]] std::pair<std::vector<FlowCluster>, std::vector<FinalCluster>>
+  snapshot_state() const {
+    return {flows_, clusters_};
+  }
 
  private:
   const roadnet::RoadNetwork& net_;

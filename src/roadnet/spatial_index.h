@@ -16,6 +16,11 @@ namespace neat::roadnet {
 
 /// Grid index over the straight-line geometry of every segment in a network.
 /// The index keeps a reference to the network; do not outlive it.
+///
+/// Thread safety: the index is immutable after construction and the const
+/// query methods keep no mutable state, so any number of threads may query
+/// one index concurrently without synchronization. The serving subsystem
+/// (serve::QueryEngine) relies on this guarantee.
 class SegmentGridIndex {
  public:
   /// Builds the index. `cell_size` is in metres; pass 0 to pick a size near

@@ -1,0 +1,90 @@
+#include "serve/ingest_service.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+
+namespace neat::serve {
+
+IngestService::IngestService(const roadnet::RoadNetwork& net, Config config,
+                             SnapshotStore& store, Metrics& metrics,
+                             IngestOptions options)
+    : net_(net),
+      store_(store),
+      metrics_(metrics),
+      options_(options),
+      clusterer_(net, config, options.incremental),
+      queue_(options.queue_capacity) {
+  worker_ = std::thread([this] { run(); });
+}
+
+IngestService::~IngestService() { stop(); }
+
+bool IngestService::submit(traj::TrajectoryDataset batch) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  const bool block = options_.backpressure == IngestOptions::Backpressure::kBlock;
+  // Count the acceptance before the push lands so flush() can never observe
+  // processed_ caught up while this batch is still invisible to it.
+  accepted_.fetch_add(1, std::memory_order_acq_rel);
+  const PushResult r = queue_.push(std::move(batch), block);
+  if (r == PushResult::kAccepted) return true;
+  accepted_.fetch_sub(1, std::memory_order_acq_rel);
+  {
+    const std::lock_guard<std::mutex> lock(flush_mu_);  // pairs with flush()'s wait
+  }
+  flush_cv_.notify_all();
+  if (r == PushResult::kRejected) metrics_.record_rejected_batch();
+  return false;
+}
+
+void IngestService::flush() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  flush_cv_.wait(lock, [this] {
+    return processed_.load(std::memory_order_acquire) >=
+           accepted_.load(std::memory_order_acquire);
+  });
+}
+
+void IngestService::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    if (worker_.joinable()) worker_.join();
+    return;
+  }
+  queue_.close();
+  if (worker_.joinable()) worker_.join();
+  flush_cv_.notify_all();
+}
+
+void IngestService::run() {
+  while (auto batch = queue_.pop()) {
+    process_batch(std::move(*batch));
+  }
+}
+
+void IngestService::process_batch(traj::TrajectoryDataset batch) {
+  const Stopwatch watch;
+  const std::size_t n_trajectories = batch.size();
+  try {
+    clusterer_.add_batch(batch);
+    auto [flows, clusters] = clusterer_.snapshot_state();
+    const std::uint64_t version = published_.load(std::memory_order_relaxed) + 1;
+    store_.publish(
+        ClusterSnapshot::build(net_, std::move(flows), std::move(clusters), version));
+    published_.store(version, std::memory_order_release);
+    metrics_.record_ingest(n_trajectories, watch.elapsed_seconds(), version);
+  } catch (const Error&) {
+    // Bad batch (duplicate ids, unknown segments, ...): drop it, keep
+    // serving the previous snapshot.
+    metrics_.record_failed_batch();
+  }
+  processed_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    // Pairs with flush(): the empty critical section orders the counter
+    // update before the notify so a flusher mid-predicate-check cannot
+    // miss the wakeup.
+    const std::lock_guard<std::mutex> lock(flush_mu_);
+  }
+  flush_cv_.notify_all();
+}
+
+}  // namespace neat::serve

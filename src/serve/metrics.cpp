@@ -1,0 +1,178 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+namespace neat::serve {
+
+namespace {
+
+std::int64_t steady_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Index of the log2 bucket for a microsecond value: 0 for < 1 µs, else
+// floor(log2(us)) + 1, clamped to the last bucket.
+std::size_t bucket_of(double us) {
+  if (us < 1.0) return 0;
+  const auto exp = static_cast<std::size_t>(std::floor(std::log2(us))) + 1;
+  return std::min(exp, LatencyHistogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double seconds) {
+  const double us = std::max(0.0, seconds * 1e6);
+  buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(us), std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e6 /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::quantile_seconds(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; ceil so q=0.5 of 2 picks the 1st.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_upper_seconds(i);
+  }
+  return bucket_upper_seconds(kBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_count(std::size_t i) const {
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::bucket_upper_seconds(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i)) / 1e6;  // 2^i µs.
+}
+
+void Metrics::record_query(QueryKind kind, double seconds) {
+  switch (kind) {
+    case QueryKind::kNearestFlow:
+      nearest_flow_queries_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryKind::kSegmentFlows:
+      segment_queries_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryKind::kTopK:
+      top_k_queries_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  query_latency_.record(seconds);
+}
+
+void Metrics::record_empty_snapshot_query() {
+  empty_snapshot_queries_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_ingest(std::size_t trajectories, double seconds,
+                            std::uint64_t version) {
+  batches_ingested_.fetch_add(1, std::memory_order_relaxed);
+  trajectories_ingested_.fetch_add(trajectories, std::memory_order_relaxed);
+  ingest_latency_.record(seconds);
+  snapshot_version_.store(version, std::memory_order_relaxed);
+  last_publish_us_.store(steady_now_us(), std::memory_order_relaxed);
+}
+
+void Metrics::record_rejected_batch() {
+  batches_rejected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_failed_batch() {
+  batches_failed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Metrics::snapshot_age_seconds() const {
+  const std::int64_t at = last_publish_us_.load(std::memory_order_relaxed);
+  if (at == 0) return 0.0;
+  return static_cast<double>(steady_now_us() - at) / 1e6;
+}
+
+std::uint64_t Metrics::snapshot_version() const {
+  return snapshot_version_.load(std::memory_order_relaxed);
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot s;
+  s.nearest_flow_queries = nearest_flow_queries_.load(std::memory_order_relaxed);
+  s.segment_queries = segment_queries_.load(std::memory_order_relaxed);
+  s.top_k_queries = top_k_queries_.load(std::memory_order_relaxed);
+  s.queries_total = s.nearest_flow_queries + s.segment_queries + s.top_k_queries;
+  s.empty_snapshot_queries = empty_snapshot_queries_.load(std::memory_order_relaxed);
+  s.query_p50_s = query_latency_.quantile_seconds(0.50);
+  s.query_p99_s = query_latency_.quantile_seconds(0.99);
+  s.query_mean_s = query_latency_.mean_seconds();
+  s.batches_ingested = batches_ingested_.load(std::memory_order_relaxed);
+  s.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
+  s.batches_failed = batches_failed_.load(std::memory_order_relaxed);
+  s.trajectories_ingested = trajectories_ingested_.load(std::memory_order_relaxed);
+  s.ingest_p50_s = ingest_latency_.quantile_seconds(0.50);
+  s.ingest_mean_s = ingest_latency_.mean_seconds();
+  s.snapshot_version = snapshot_version();
+  s.snapshot_age_s = snapshot_age_seconds();
+  return s;
+}
+
+namespace {
+
+void append_histogram_json(std::ostringstream& out, const LatencyHistogram& h) {
+  out << "{\"count\":" << h.count() << ",\"buckets_us\":[";
+  // Trailing empty buckets are elided; emitted entries are cumulative-free
+  // raw counts, bucket i spanning up to 2^i µs.
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    if (h.bucket_count(i) > 0) last = i;
+  }
+  for (std::size_t i = 0; i <= last; ++i) {
+    if (i > 0) out << ',';
+    out << h.bucket_count(i);
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+std::string Metrics::to_json() const {
+  const MetricsSnapshot s = snapshot();
+  std::ostringstream out;
+  out.precision(9);
+  out << "{\"queries\":{\"total\":" << s.queries_total
+      << ",\"nearest_flow\":" << s.nearest_flow_queries
+      << ",\"segment_flows\":" << s.segment_queries
+      << ",\"top_k\":" << s.top_k_queries
+      << ",\"empty_snapshot\":" << s.empty_snapshot_queries
+      << ",\"latency_s\":{\"p50\":" << s.query_p50_s << ",\"p99\":" << s.query_p99_s
+      << ",\"mean\":" << s.query_mean_s << "},\"histogram\":";
+  append_histogram_json(out, query_latency_);
+  out << "},\"ingest\":{\"batches\":" << s.batches_ingested
+      << ",\"rejected\":" << s.batches_rejected << ",\"failed\":" << s.batches_failed
+      << ",\"trajectories\":" << s.trajectories_ingested
+      << ",\"latency_s\":{\"p50\":" << s.ingest_p50_s << ",\"mean\":" << s.ingest_mean_s
+      << "},\"histogram\":";
+  append_histogram_json(out, ingest_latency_);
+  out << "},\"snapshot\":{\"version\":" << s.snapshot_version
+      << ",\"age_s\":" << s.snapshot_age_s << "}}";
+  return out.str();
+}
+
+}  // namespace neat::serve

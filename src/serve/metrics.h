@@ -1,0 +1,127 @@
+// Built-in serving metrics (counters + fixed-bucket latency histograms).
+//
+// Every mutation is a relaxed atomic increment, so recording from many query
+// threads never serializes them; reads produce a consistent-enough snapshot
+// for monitoring (each gauge is individually atomic, the set is not). The
+// latency histogram uses fixed log2 buckets over microseconds — bucket i
+// counts observations in [2^(i-1), 2^i) µs — which keeps recording a single
+// fetch_add and makes percentile extraction trivial. The JSON schema is
+// documented in DESIGN.md §"Serving architecture".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace neat::serve {
+
+/// Lock-free latency histogram with fixed log2 buckets over microseconds.
+/// Bucket 0 counts observations below 1 µs; bucket i (i >= 1) counts
+/// [2^(i-1), 2^i) µs; the last bucket absorbs everything above ~35 minutes.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  /// Records one observation. Thread-safe, wait-free.
+  void record(double seconds);
+
+  /// Total observations recorded.
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Mean latency in seconds (0 when empty).
+  [[nodiscard]] double mean_seconds() const;
+
+  /// Latency at quantile `q` in [0, 1], in seconds, as the upper edge of the
+  /// bucket containing that quantile (0 when empty). Conservative: the true
+  /// value is at most this.
+  [[nodiscard]] double quantile_seconds(double q) const;
+
+  /// Raw count of bucket `i`.
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
+
+  /// Upper edge of bucket `i` in seconds (2^i µs).
+  [[nodiscard]] static double bucket_upper_seconds(std::size_t i);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+};
+
+/// One coherent read of every serving metric, for export.
+struct MetricsSnapshot {
+  std::uint64_t queries_total{0};
+  std::uint64_t nearest_flow_queries{0};
+  std::uint64_t segment_queries{0};
+  std::uint64_t top_k_queries{0};
+  std::uint64_t empty_snapshot_queries{0};
+  double query_p50_s{0.0};
+  double query_p99_s{0.0};
+  double query_mean_s{0.0};
+  std::uint64_t batches_ingested{0};
+  std::uint64_t batches_rejected{0};
+  std::uint64_t batches_failed{0};
+  std::uint64_t trajectories_ingested{0};
+  double ingest_p50_s{0.0};
+  double ingest_mean_s{0.0};
+  std::uint64_t snapshot_version{0};
+  double snapshot_age_s{0.0};
+};
+
+/// Shared metrics registry for one serving stack (QueryEngine + Ingest).
+/// All methods are thread-safe.
+class Metrics {
+ public:
+  enum class QueryKind { kNearestFlow, kSegmentFlows, kTopK };
+
+  /// Records one finished query of `kind` taking `seconds`.
+  void record_query(QueryKind kind, double seconds);
+
+  /// Records a query answered while no snapshot was published yet.
+  void record_empty_snapshot_query();
+
+  /// Records one ingested batch: `trajectories` trips, `seconds` of
+  /// clustering + publication work, resulting snapshot `version`.
+  void record_ingest(std::size_t trajectories, double seconds, std::uint64_t version);
+
+  /// Records a batch rejected by backpressure.
+  void record_rejected_batch();
+
+  /// Records a batch whose clustering failed (bad input); the service
+  /// continues with the previous snapshot.
+  void record_failed_batch();
+
+  /// Seconds since the most recent snapshot publication (0 before the
+  /// first publish).
+  [[nodiscard]] double snapshot_age_seconds() const;
+
+  /// Version of the most recently published snapshot (0 = none yet).
+  [[nodiscard]] std::uint64_t snapshot_version() const;
+
+  [[nodiscard]] const LatencyHistogram& query_latency() const { return query_latency_; }
+  [[nodiscard]] const LatencyHistogram& ingest_latency() const { return ingest_latency_; }
+
+  /// A coherent-enough point-in-time read of every gauge.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Serializes snapshot() plus both raw histograms as a JSON object (schema
+  /// in DESIGN.md).
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  LatencyHistogram query_latency_;
+  LatencyHistogram ingest_latency_;
+  std::atomic<std::uint64_t> nearest_flow_queries_{0};
+  std::atomic<std::uint64_t> segment_queries_{0};
+  std::atomic<std::uint64_t> top_k_queries_{0};
+  std::atomic<std::uint64_t> empty_snapshot_queries_{0};
+  std::atomic<std::uint64_t> batches_ingested_{0};
+  std::atomic<std::uint64_t> batches_rejected_{0};
+  std::atomic<std::uint64_t> batches_failed_{0};
+  std::atomic<std::uint64_t> trajectories_ingested_{0};
+  std::atomic<std::uint64_t> snapshot_version_{0};
+  std::atomic<std::int64_t> last_publish_us_{0};  ///< steady-clock µs; 0 = never.
+};
+
+}  // namespace neat::serve

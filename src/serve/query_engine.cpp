@@ -1,0 +1,90 @@
+#include "serve/query_engine.h"
+
+#include <limits>
+
+#include "common/stopwatch.h"
+
+namespace neat::serve {
+
+QueryEngine::QueryEngine(const roadnet::RoadNetwork& net, const SnapshotStore& store,
+                         Metrics* metrics)
+    : net_(net), store_(store), metrics_(metrics), grid_(net) {}
+
+std::optional<NearestFlowHit> QueryEngine::nearest_flow(Point p,
+                                                        double max_radius) const {
+  const Stopwatch watch;
+  const auto snap = store_.current();
+  if (!snap) {
+    if (metrics_ != nullptr) {
+      metrics_->record_empty_snapshot_query();
+      metrics_->record_query(Metrics::QueryKind::kNearestFlow, watch.elapsed_seconds());
+    }
+    return std::nullopt;
+  }
+
+  // Candidate route segments near the client, nearest-carrying-flow wins.
+  std::optional<NearestFlowHit> best;
+  for (const SegmentId sid : grid_.segments_within(p, max_radius)) {
+    const auto flows = snap->flows_on_segment(sid);
+    if (flows.empty()) continue;
+    double dist = std::numeric_limits<double>::infinity();
+    (void)net_.project_to_segment(sid, p, &dist);
+    if (best && best->distance_m <= dist) continue;
+    // Among flows sharing this segment: highest cardinality, then lowest
+    // index (flows_on_segment lists ascending, so > keeps the first max).
+    std::uint32_t pick = flows.front();
+    for (const std::uint32_t f : flows) {
+      if (snap->flows()[f].cardinality() > snap->flows()[pick].cardinality()) pick = f;
+    }
+    best = NearestFlowHit{snap->version(),
+                          pick,
+                          sid,
+                          dist,
+                          snap->final_cluster_of(pick),
+                          snap->flows()[pick].cardinality()};
+  }
+  if (metrics_ != nullptr) {
+    metrics_->record_query(Metrics::QueryKind::kNearestFlow, watch.elapsed_seconds());
+  }
+  return best;
+}
+
+SegmentFlows QueryEngine::flows_on_segment(SegmentId sid) const {
+  const Stopwatch watch;
+  SegmentFlows out;
+  if (const auto snap = store_.current()) {
+    out.snapshot_version = snap->version();
+    const auto flows = snap->flows_on_segment(sid);
+    out.flows.assign(flows.begin(), flows.end());
+  } else if (metrics_ != nullptr) {
+    metrics_->record_empty_snapshot_query();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->record_query(Metrics::QueryKind::kSegmentFlows, watch.elapsed_seconds());
+  }
+  return out;
+}
+
+TopFlows QueryEngine::top_k_flows(std::size_t k) const {
+  const Stopwatch watch;
+  TopFlows out;
+  if (const auto snap = store_.current()) {
+    out.snapshot_version = snap->version();
+    const auto ranked = snap->flows_by_density();
+    out.flows.reserve(std::min(k, ranked.size()));
+    for (std::size_t i = 0; i < ranked.size() && i < k; ++i) {
+      const std::uint32_t f = ranked[i];
+      const FlowCluster& flow = snap->flows()[f];
+      out.flows.push_back(RankedFlow{f, flow.cardinality(), flow.route_length,
+                                     snap->final_cluster_of(f)});
+    }
+  } else if (metrics_ != nullptr) {
+    metrics_->record_empty_snapshot_query();
+  }
+  if (metrics_ != nullptr) {
+    metrics_->record_query(Metrics::QueryKind::kTopK, watch.elapsed_seconds());
+  }
+  return out;
+}
+
+}  // namespace neat::serve

@@ -106,6 +106,43 @@ TEST(Sharded, RejectsNullShard) {
   EXPECT_THROW(run_sharded(net, {nullptr}, cfg), PreconditionError);
 }
 
+TEST(MergePhase1, RejectsDuplicateTrajectoryIdsAcrossShards) {
+  // Regression: a trajectory id repeated across shards used to merge
+  // silently, deflating trajectory cardinalities. Now it throws.
+  const roadnet::RoadNetwork net = testutil::fig1_network();
+  const NodeId n1(0), n2(1), n3(2), n4(3);
+
+  traj::TrajectoryDataset shard_a;
+  shard_a.add(testutil::make_path_trajectory(net, 1, {n1, n2, n3}));
+  shard_a.add(testutil::make_path_trajectory(net, 2, {n1, n2}));
+  traj::TrajectoryDataset shard_b;
+  shard_b.add(testutil::make_path_trajectory(net, 2, {n4, n2, n3}));  // dup id 2
+
+  const Fragmenter fragmenter(net);
+  std::vector<Phase1Output> outputs;
+  outputs.push_back(fragmenter.build_base_clusters(shard_a));
+  outputs.push_back(fragmenter.build_base_clusters(shard_b));
+  try {
+    (void)merge_phase1_outputs(std::move(outputs));
+    FAIL() << "duplicate trajectory id across shards was not rejected";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("trajectory id 2"), std::string::npos)
+        << e.what();
+  }
+
+  // The same duplicate through the full sharded pipeline.
+  EXPECT_THROW(run_sharded(net, {&shard_a, &shard_b}, Config{}), PreconditionError);
+
+  // Duplicates *within* one shard's clusters (one trajectory crossing many
+  // segments) stay legal — only cross-shard repeats are errors.
+  traj::TrajectoryDataset shard_c;
+  shard_c.add(testutil::make_path_trajectory(net, 3, {n1, n2, n3}));
+  std::vector<Phase1Output> ok;
+  ok.push_back(fragmenter.build_base_clusters(shard_a));
+  ok.push_back(fragmenter.build_base_clusters(shard_c));
+  EXPECT_NO_THROW((void)merge_phase1_outputs(std::move(ok)));
+}
+
 TEST(Sharded, BaseModeStopsAfterMerge) {
   const roadnet::RoadNetwork net = testutil::fig1_network();
   traj::TrajectoryDataset data;

@@ -139,6 +139,59 @@ TEST(IncrementalWindow, EvictsFlowsOutsideWindow) {
   EXPECT_EQ(seen, want);
 }
 
+TEST(IncrementalWindow, EvictedBatchesVanishFromRefinedResult) {
+  // Flows of batches that slid out of the window must disappear from the
+  // *refined* result too: no final cluster may keep referencing an evicted
+  // batch's trajectories.
+  const roadnet::RoadNetwork net = roadnet::make_grid(10, 10, 100.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 3);
+  const sim::MobilitySimulator simulator(net, scfg);
+
+  Config cfg;
+  cfg.refine.epsilon = 400.0;
+  IncrementalOptions opts;
+  opts.window_batches = 2;
+  IncrementalClusterer inc(net, cfg, opts);
+
+  constexpr int kBatches = 5;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    const traj::TrajectoryDataset raw =
+        simulator.generate(25, 700 + static_cast<std::uint64_t>(batch));
+    traj::TrajectoryDataset tagged;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      // Ids encode the batch: batch b owns [b*1000, b*1000 + 999].
+      tagged.add(traj::Trajectory(TrajectoryId(batch * 1000 + static_cast<std::int64_t>(i)),
+                                  raw[i].points()));
+    }
+    const std::vector<FinalCluster>& refined = inc.add_batch(tagged);
+
+    // Only the last `window_batches` batches may contribute participants.
+    const int oldest_kept = std::max(0, batch - static_cast<int>(opts.window_batches) + 1);
+    for (const FlowCluster& f : inc.flows()) {
+      for (const TrajectoryId trid : f.participants) {
+        EXPECT_GE(trid.value() / 1000, oldest_kept)
+            << "flow kept a participant of evicted batch " << trid.value() / 1000
+            << " after batch " << batch;
+      }
+    }
+    for (const FinalCluster& c : refined) {
+      for (const TrajectoryId trid : c.participants) {
+        EXPECT_GE(trid.value() / 1000, oldest_kept)
+            << "refined cluster kept a participant of evicted batch "
+            << trid.value() / 1000 << " after batch " << batch;
+      }
+    }
+    // And the window is not trivially empty: the current batch contributes.
+    bool current_batch_present = false;
+    for (const FlowCluster& f : inc.flows()) {
+      for (const TrajectoryId trid : f.participants) {
+        if (trid.value() / 1000 == batch) current_batch_present = true;
+      }
+    }
+    EXPECT_TRUE(current_batch_present) << "after batch " << batch;
+  }
+}
+
 TEST(IncrementalWindow, WindowOfOneTracksOnlyLatestBatch) {
   const roadnet::RoadNetwork net = roadnet::make_grid(8, 8, 100.0);
   const sim::SimConfig scfg = sim::default_config(net, 2, 3);
