@@ -7,7 +7,8 @@
 //   $ ./neat_cli --network net.csv --trajectories trips.csv
 //                [--mode base|flow|opt] [--epsilon M] [--min-card N|auto]
 //                [--wq X --wk Y --wv Z] [--beta B] [--no-elb]
-//                [--threads N] [--out prefix]
+//                [--landmarks N] [--threads N] [--refine-threads N]
+//                [--out prefix]
 //
 // Try it end to end (generates its own demo inputs when given --demo):
 //   $ ./neat_cli --demo
@@ -44,7 +45,8 @@ struct CliOptions {
             << "usage: neat_cli --network NET.csv --trajectories TRIPS.csv\n"
             << "                [--mode base|flow|opt] [--epsilon METRES]\n"
             << "                [--min-card N|auto] [--wq X --wk Y --wv Z]\n"
-            << "                [--beta B|inf] [--no-elb] [--threads N] [--out PREFIX]\n"
+            << "                [--beta B|inf] [--no-elb] [--landmarks N]\n"
+            << "                [--threads N] [--refine-threads N] [--out PREFIX]\n"
             << "       neat_cli --demo   (self-contained demonstration)\n";
   std::exit(2);
 }
@@ -89,6 +91,15 @@ CliOptions parse_args(int argc, char** argv) {
         const std::int64_t n = parse_int(next_value(i));
         if (n < 0) usage("--threads must be >= 0 (0/1 = serial)");
         opt.config.phase1_threads = static_cast<unsigned>(n);
+      } else if (arg == "--refine-threads") {
+        const std::int64_t n = parse_int(next_value(i));
+        if (n < 0) usage("--refine-threads must be >= 0 (0/1 = serial)");
+        opt.config.refine.threads = static_cast<unsigned>(n);
+      } else if (arg == "--landmarks") {
+        const std::int64_t n = parse_int(next_value(i));
+        if (n < 1) usage("--landmarks must be >= 1");
+        opt.config.refine.use_landmarks = true;
+        opt.config.refine.num_landmarks = static_cast<int>(n);
       } else if (arg == "--no-elb") {
         opt.config.refine.use_elb = false;
       } else if (arg == "--demo") {

@@ -1,6 +1,7 @@
 #include "core/clusterer.h"
 
 #include "common/stopwatch.h"
+#include "core/parallel_refiner.h"
 
 namespace neat {
 
@@ -36,13 +37,15 @@ Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
   result.timing.phase2_s = watch.elapsed_seconds();
   if (config_.mode == Mode::kFlow) return result;
 
-  // Phase 3: flow cluster refinement.
+  // Phase 3: flow cluster refinement (parallel across RefineConfig::threads;
+  // output is bit-identical to the serial refiner).
   watch.restart();
-  const Refiner refiner(net_, config_.refine);
+  const ParallelRefiner refiner(net_, config_.refine);
   Phase3Output p3 = refiner.refine(result.flow_clusters);
   result.final_clusters = std::move(p3.clusters);
   result.sp_computations = p3.sp_computations;
   result.elb_pruned_pairs = p3.elb_pruned_pairs;
+  result.lm_pruned_pairs = p3.lm_pruned_pairs;
   result.pairs_evaluated = p3.pairs_evaluated;
   result.timing.phase3_s = watch.elapsed_seconds();
   return result;

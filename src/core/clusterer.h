@@ -60,6 +60,7 @@ struct Result {
   std::vector<FinalCluster> final_clusters;
   std::size_t sp_computations{0};
   std::size_t elb_pruned_pairs{0};
+  std::size_t lm_pruned_pairs{0};
   std::size_t pairs_evaluated{0};
 
   PhaseTiming timing;

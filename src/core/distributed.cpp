@@ -8,6 +8,7 @@
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "core/parallel_refiner.h"
 
 namespace neat {
 
@@ -92,10 +93,11 @@ Result run_sharded(const roadnet::RoadNetwork& net,
   if (config.mode == Mode::kFlow) return result;
 
   watch.restart();
-  Phase3Output p3 = Refiner(net, config.refine).refine(result.flow_clusters);
+  Phase3Output p3 = ParallelRefiner(net, config.refine).refine(result.flow_clusters);
   result.final_clusters = std::move(p3.clusters);
   result.sp_computations = p3.sp_computations;
   result.elb_pruned_pairs = p3.elb_pruned_pairs;
+  result.lm_pruned_pairs = p3.lm_pruned_pairs;
   result.pairs_evaluated = p3.pairs_evaluated;
   result.timing.phase3_s = watch.elapsed_seconds();
   return result;

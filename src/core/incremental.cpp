@@ -7,10 +7,9 @@ namespace neat {
 
 IncrementalClusterer::IncrementalClusterer(const roadnet::RoadNetwork& net, Config config,
                                            IncrementalOptions options)
-    : net_(net), config_(config), options_(options) {
+    : net_(net), config_(config), options_(options), refiner_(net, config.refine) {
   // Online operation always needs all three phases.
   config_.mode = Mode::kOpt;
-  (void)Refiner(net_, config_.refine);  // eager validation
 }
 
 const std::vector<FinalCluster>& IncrementalClusterer::add_batch(
@@ -50,9 +49,10 @@ const std::vector<FinalCluster>& IncrementalClusterer::add_batch(
     flow_batch_.resize(write);
   }
 
-  // Phase 3 over the (windowed) accumulated flow set.
-  const Refiner refiner(net_, config_.refine);
-  Phase3Output p3 = refiner.refine(flows_);
+  // Phase 3 over the (windowed) accumulated flow set. The refiner member
+  // persists across batches so the landmark tables (when enabled) are built
+  // once, not per batch.
+  Phase3Output p3 = refiner_.refine(flows_);
   clusters_ = std::move(p3.clusters);
   ++batches_;
   return clusters_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/clusterer.h"
+#include "core/parallel_refiner.h"
 
 namespace neat {
 
@@ -63,6 +64,8 @@ class IncrementalClusterer {
   const roadnet::RoadNetwork& net_;
   Config config_;
   IncrementalOptions options_;
+  /// Persistent so landmark tables survive across batches.
+  ParallelRefiner refiner_;
   std::vector<FlowCluster> flows_;
   std::vector<std::size_t> flow_batch_;  ///< Arrival batch index per flow.
   std::vector<FinalCluster> clusters_;

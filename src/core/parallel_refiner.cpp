@@ -1,0 +1,94 @@
+#include "core/parallel_refiner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "roadnet/landmark_oracle.h"
+
+namespace neat {
+
+namespace {
+// Pairs claimed per fetch_add. Large enough to amortize the atomic, small
+// enough that an unlucky worker stuck with expensive pairs cannot stall the
+// others at the end of the matrix.
+constexpr std::size_t kChunkPairs = 64;
+}  // namespace
+
+ParallelRefiner::ParallelRefiner(const roadnet::RoadNetwork& net, RefineConfig config)
+    : refiner_(net, config) {}
+
+Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) const {
+  const std::size_t n = flows.size();
+  const unsigned threads = std::max(1u, refiner_.config().threads);
+  if (threads <= 1 || n < 2) return refiner_.refine(flows);
+
+  // Build the shared landmark tables before spawning: workers only read.
+  const roadnet::LandmarkOracle* lm = refiner_.landmark_oracle();
+  static_cast<void>(lm);
+
+  const std::size_t total_pairs = n * (n - 1) / 2;
+  std::vector<double> pair_dist(total_pairs);
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, total_pairs));
+
+  // Recover (i, j) from the condensed index p = i*n - i*(i+1)/2 + (j-i-1)
+  // by walking rows; each chunk is contiguous, so the walk is amortized O(1)
+  // per pair.
+  const auto row_end = [&](std::size_t i) {
+    return (i + 1) * n - (i + 1) * (i + 2) / 2;
+  };
+
+  std::atomic<std::size_t> next{0};
+  std::vector<Phase3Output> counters(workers);
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        roadnet::NodeDistanceOracle oracle(refiner_.network());
+        // Stack-local counters avoid false sharing between workers' slots of
+        // the shared vector; merged once at thread end.
+        Phase3Output local;
+        for (;;) {
+          const std::size_t begin = next.fetch_add(kChunkPairs, std::memory_order_relaxed);
+          if (begin >= total_pairs) break;
+          const std::size_t end = std::min(begin + kChunkPairs, total_pairs);
+          std::size_t i = 0;
+          while (row_end(i) <= begin) ++i;
+          std::size_t j = i + 1 + (begin - (i * n - i * (i + 1) / 2));
+          for (std::size_t p = begin; p < end; ++p) {
+            pair_dist[p] =
+                refiner_.refine_pair_distance(flows[i], flows[j], oracle, local);
+            if (++j == n) {
+              ++i;
+              j = i + 1;
+            }
+          }
+        }
+        counters[w] = std::move(local);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  Phase3Output out = refiner_.cluster_from_pair_distances(flows, pair_dist);
+  // Counters are order-independent sums, so the totals match the serial run
+  // exactly no matter how chunks were interleaved.
+  for (const Phase3Output& c : counters) {
+    out.sp_computations += c.sp_computations;
+    out.elb_pruned_pairs += c.elb_pruned_pairs;
+    out.lm_pruned_pairs += c.lm_pruned_pairs;
+    out.pairs_evaluated += c.pairs_evaluated;
+  }
+  return out;
+}
+
+}  // namespace neat

@@ -1,14 +1,19 @@
 #include "core/refiner.h"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 #include <limits>
-#include <unordered_map>
 
 #include "common/error.h"
 #include "core/netflow.h"
+#include "roadnet/landmark_oracle.h"
 
 namespace neat {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
 
 double hausdorff_from_parts(double d11, double d12, double d21, double d22) {
   // Eq. 5: max over each endpoint of one route of its distance to the
@@ -22,6 +27,23 @@ Refiner::Refiner(const roadnet::RoadNetwork& net, RefineConfig config)
     : net_(net), config_(config) {
   NEAT_EXPECT(config_.epsilon > 0.0, "RefineConfig: epsilon must be positive");
   NEAT_EXPECT(config_.min_pts >= 1, "RefineConfig: min_pts must be at least 1");
+  NEAT_EXPECT(!config_.use_landmarks || config_.num_landmarks >= 1,
+              "RefineConfig: num_landmarks must be at least 1 when landmarks are enabled");
+}
+
+void Refiner::set_landmarks(std::shared_ptr<const roadnet::LandmarkOracle> landmarks) {
+  const std::lock_guard<std::mutex> lock(landmarks_mu_);
+  landmarks_ = std::move(landmarks);
+}
+
+const roadnet::LandmarkOracle* Refiner::landmark_oracle() const {
+  if (!config_.use_landmarks) return nullptr;
+  const std::lock_guard<std::mutex> lock(landmarks_mu_);
+  if (!landmarks_) {
+    landmarks_ =
+        std::make_shared<const roadnet::LandmarkOracle>(net_, config_.num_landmarks);
+  }
+  return landmarks_.get();
 }
 
 double Refiner::min_euclidean_endpoint_distance(const FlowCluster& a,
@@ -34,20 +56,38 @@ double Refiner::min_euclidean_endpoint_distance(const FlowCluster& a,
                   std::min(distance(a2, b1), distance(a2, b2)));
 }
 
-double Refiner::network_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                                  roadnet::NodeDistanceOracle& oracle) const {
-  const double bound = config_.bound_searches_at_epsilon
-                           ? config_.epsilon
-                           : std::numeric_limits<double>::infinity();
+double Refiner::landmark_hausdorff_bound(const FlowCluster& a, const FlowCluster& b,
+                                         const roadnet::LandmarkOracle& lm) const {
   const NodeId a1 = a.start_junction();
   const NodeId a2 = a.end_junction();
   const NodeId b1 = b.start_junction();
   const NodeId b2 = b.end_junction();
-  const double d11 = oracle.distance(a1, b1, bound);
-  const double d12 = oracle.distance(a1, b2, bound);
-  const double d21 = oracle.distance(a2, b1, bound);
-  const double d22 = oracle.distance(a2, b2, bound);
-  return hausdorff_from_parts(d11, d12, d21, d22);
+  // hausdorff_from_parts is monotone in each argument, so feeding it
+  // per-pair lower bounds yields a lower bound of the true Hausdorff value —
+  // strictly sharper than the min-of-four key ELB uses.
+  return hausdorff_from_parts(lm.lower_bound(a1, b1), lm.lower_bound(a1, b2),
+                              lm.lower_bound(a2, b1), lm.lower_bound(a2, b2));
+}
+
+double Refiner::network_hausdorff(const FlowCluster& a, const FlowCluster& b,
+                                  roadnet::NodeDistanceOracle& oracle,
+                                  const roadnet::LandmarkOracle* lm) const {
+  const double bound = config_.bound_searches_at_epsilon ? config_.epsilon : kInf;
+  const std::array<NodeId, 2> b_ends{b.start_junction(), b.end_junction()};
+  std::array<double, 2> row1{};
+  std::array<double, 2> row2{};
+  // One batched search per endpoint of `a` settles both endpoints of `b`:
+  // two searches per pair instead of four.
+  oracle.distances(a.start_junction(), b_ends, row1, bound, lm);
+  if (config_.bound_searches_at_epsilon &&
+      std::min(row1[0], row1[1]) > config_.epsilon) {
+    // Formula 5's forward term is already > ε, so the pair cannot merge;
+    // both legs bounded out, so the exact value is +inf either way. Skip
+    // the second search.
+    return kInf;
+  }
+  oracle.distances(a.end_junction(), b_ends, row2, bound, lm);
+  return hausdorff_from_parts(row1[0], row1[1], row2[0], row2[1]);
 }
 
 double Refiner::euclidean_route_hausdorff(const FlowCluster& a, const FlowCluster& b) const {
@@ -55,7 +95,7 @@ double Refiner::euclidean_route_hausdorff(const FlowCluster& a, const FlowCluste
     double worst = 0.0;
     for (const NodeId u : from) {
       const Point up = net_.node(u).pos;
-      double best = std::numeric_limits<double>::infinity();
+      double best = kInf;
       for (const NodeId v : to) {
         best = std::min(best, distance(up, net_.node(v).pos));
       }
@@ -67,16 +107,15 @@ double Refiner::euclidean_route_hausdorff(const FlowCluster& a, const FlowCluste
 }
 
 double Refiner::network_route_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                                        roadnet::NodeDistanceOracle& oracle) const {
-  const double bound = config_.bound_searches_at_epsilon
-                           ? config_.epsilon
-                           : std::numeric_limits<double>::infinity();
+                                        roadnet::NodeDistanceOracle& oracle,
+                                        const roadnet::LandmarkOracle* lm) const {
+  const double bound = config_.bound_searches_at_epsilon ? config_.epsilon : kInf;
   const auto directed = [&](const std::vector<NodeId>& from, const std::vector<NodeId>& to) {
     double worst = 0.0;
     for (const NodeId u : from) {
       // One multi-target Dijkstra: the first settled junction of `to` is
       // the closest, i.e. min_v d_N(u, v).
-      worst = std::max(worst, oracle.distance_to_any(u, to, bound));
+      worst = std::max(worst, oracle.distance_to_any(u, to, bound, lm));
       if (worst > config_.epsilon) break;  // the max can only grow
     }
     return worst;
@@ -92,17 +131,51 @@ double Refiner::elb_key(const FlowCluster& a, const FlowCluster& b) const {
 
 double Refiner::flow_distance(const FlowCluster& a, const FlowCluster& b) const {
   roadnet::NodeDistanceOracle oracle(net_);
+  const roadnet::LandmarkOracle* lm = landmark_oracle();
   return config_.distance_mode == FlowDistanceMode::kEndpoints
-             ? network_hausdorff(a, b, oracle)
-             : network_route_hausdorff(a, b, oracle);
+             ? network_hausdorff(a, b, oracle, lm)
+             : network_route_hausdorff(a, b, oracle, lm);
 }
 
-Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
+double Refiner::refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
+                                     roadnet::NodeDistanceOracle& oracle,
+                                     Phase3Output& counters) const {
+  if (config_.use_elb && elb_key(a, b) > config_.epsilon) {
+    // ELB: the true network distance can only be larger; prune without any
+    // shortest-path computation.
+    ++counters.elb_pruned_pairs;
+    return kInf;
+  }
+  const roadnet::LandmarkOracle* lm = landmark_oracle();
+  if (lm != nullptr && config_.distance_mode == FlowDistanceMode::kEndpoints &&
+      landmark_hausdorff_bound(a, b, *lm) > config_.epsilon) {
+    // Landmark (ALT) bound: admissible like ELB but follows network
+    // geodesics, so it catches pairs whose straight-line distance is small
+    // while every road route is long.
+    ++counters.lm_pruned_pairs;
+    return kInf;
+  }
+  const std::size_t before = oracle.computations();
+  const double d = config_.distance_mode == FlowDistanceMode::kEndpoints
+                       ? network_hausdorff(a, b, oracle, lm)
+                       : network_route_hausdorff(a, b, oracle, lm);
+  counters.sp_computations += oracle.computations() - before;
+  ++counters.pairs_evaluated;
+  return d;
+}
+
+Phase3Output Refiner::cluster_from_pair_distances(
+    const std::vector<FlowCluster>& flows, std::span<const double> pair_distances) const {
   Phase3Output out;
   const std::size_t n = flows.size();
+  NEAT_EXPECT(pair_distances.size() == n * (n - 1) / 2 || n == 0,
+              "cluster_from_pair_distances: matrix size must be n*(n-1)/2");
   if (n == 0) return out;
 
-  roadnet::NodeDistanceOracle oracle(net_);
+  const auto pair_distance = [&](std::size_t i, std::size_t j) {
+    if (i > j) std::swap(i, j);
+    return pair_distances[i * n - i * (i + 1) / 2 + (j - i - 1)];
+  };
 
   // Deterministic processing order: longest representative route first
   // (paper modification 4), ties on the original flow index.
@@ -115,43 +188,11 @@ Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
     return x < y;
   });
 
-  // Symmetric pair cache so (i, j) and (j, i) cost one evaluation.
-  std::unordered_map<std::uint64_t, double> pair_cache;
-  const auto pair_key = [n](std::size_t i, std::size_t j) {
-    if (i > j) std::swap(i, j);
-    return static_cast<std::uint64_t>(i) * n + j;
-  };
-
-  const auto pair_distance = [&](std::size_t i, std::size_t j) {
-    const auto it = pair_cache.find(pair_key(i, j));
-    if (it != pair_cache.end()) return it->second;
-    if (config_.use_elb && elb_key(flows[i], flows[j]) > config_.epsilon) {
-      // ELB: the true network distance can only be larger; prune without any
-      // shortest-path computation.
-      ++out.elb_pruned_pairs;
-      const double inf = std::numeric_limits<double>::infinity();
-      pair_cache.emplace(pair_key(i, j), inf);
-      return inf;
-    }
-    const std::size_t before = oracle.computations();
-    const double d = config_.distance_mode == FlowDistanceMode::kEndpoints
-                         ? network_hausdorff(flows[i], flows[j], oracle)
-                         : network_route_hausdorff(flows[i], flows[j], oracle);
-    out.sp_computations += oracle.computations() - before;
-    ++out.pairs_evaluated;
-    pair_cache.emplace(pair_key(i, j), d);
-    return d;
-  };
-
   // ε-neighborhood of flow i (includes i itself), ascending indices.
   const auto region_query = [&](std::size_t i) {
     std::vector<std::size_t> region;
     for (std::size_t j = 0; j < n; ++j) {
-      if (j == i) {
-        region.push_back(j);
-        continue;
-      }
-      if (pair_distance(i, j) <= config_.epsilon) region.push_back(j);
+      if (j == i || pair_distance(i, j) <= config_.epsilon) region.push_back(j);
     }
     return region;
   };
@@ -213,6 +254,32 @@ Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
     }
     out.clusters.push_back(std::move(fc));
   }
+  return out;
+}
+
+Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
+  const std::size_t n = flows.size();
+  if (n == 0) return {};
+
+  // The DBSCAN below queries the ε-neighborhood of every flow exactly once,
+  // so every unordered pair is needed regardless of how the merge unfolds.
+  // Evaluating the full condensed matrix up front keeps the serial and
+  // parallel refiners on one code path with bit-identical results.
+  Phase3Output counters;
+  roadnet::NodeDistanceOracle oracle(net_);
+  std::vector<double> pair_dist(n * (n - 1) / 2);
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pair_dist[p++] = refine_pair_distance(flows[i], flows[j], oracle, counters);
+    }
+  }
+
+  Phase3Output out = cluster_from_pair_distances(flows, pair_dist);
+  out.sp_computations = counters.sp_computations;
+  out.elb_pruned_pairs = counters.elb_pruned_pairs;
+  out.lm_pruned_pairs = counters.lm_pruned_pairs;
+  out.pairs_evaluated = counters.pairs_evaluated;
   return out;
 }
 

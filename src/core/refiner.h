@@ -9,13 +9,20 @@
 // minimum cardinality for resulting clusters, and each round starts from the
 // unprocessed flow with the longest representative route.
 //
-// The Euclidean-lower-bound (ELB) optimization (§III-C.3) skips the four
-// shortest-path computations of a pair whenever the smallest Euclidean
-// endpoint distance already exceeds ε — sound because segment lengths never
-// undercut straight-line distances, so d_E(a, b) <= d_N(a, b).
+// Two admissible prunes may skip a pair's shortest-path work entirely:
+//  * The Euclidean lower bound (ELB, §III-C.3) — segment lengths never
+//    undercut straight-line distances, so d_E(a, b) <= d_N(a, b).
+//  * The landmark (ALT) bound — triangle inequality over precomputed
+//    landmark distance tables (roadnet::LandmarkOracle); tighter than ELB
+//    whenever shortest paths bend, e.g. on grid networks. The same tables
+//    steer the surviving searches as A* potentials.
+// Neither prune ever changes a merge decision, only the work performed.
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/flow_cluster.h"
@@ -41,6 +48,13 @@ struct RefineConfig {
   double epsilon{3000.0};  ///< DBSCAN ε in metres of network distance.
   FlowDistanceMode distance_mode{FlowDistanceMode::kEndpoints};
   bool use_elb{true};      ///< Euclidean-lower-bound pruning on/off.
+  /// Landmark (ALT) acceleration: a second admissible prune from
+  /// triangle-inequality bounds over precomputed landmark tables, plus A*
+  /// potentials for the searches that survive pruning. Merge decisions are
+  /// unchanged; only the Dijkstra work shrinks. Costs num_landmarks + 1 full
+  /// Dijkstra runs to build (lazily, on first refine()).
+  bool use_landmarks{false};
+  int num_landmarks{8};    ///< Landmark count when use_landmarks is set.
   /// Stop each Dijkstra once the search frontier passes ε. Every clustering
   /// decision is identical (DBSCAN only asks whether d <= ε; a leg that
   /// bounds out is > ε, and Formula 5's max/min structure preserves the
@@ -50,6 +64,10 @@ struct RefineConfig {
   /// DBSCAN minPts over flows. 1 (the default) makes every flow core, which
   /// matches the paper's "no minimum cardinality" modification.
   int min_pts{1};
+  /// Worker threads for the pairwise-distance evaluation (see
+  /// ParallelRefiner). The output is bit-identical for any value; 0/1 =
+  /// serial. Honored by NeatClusterer and the serving/incremental paths.
+  unsigned threads{1};
 };
 
 /// A final trajectory cluster: a set of merged flow clusters.
@@ -67,8 +85,9 @@ struct FinalCluster {
 /// Result of Phase 3 with the instrumentation the paper's Figure 7 reports.
 struct Phase3Output {
   std::vector<FinalCluster> clusters;
-  std::size_t sp_computations{0};   ///< Shortest-path (Dijkstra) runs issued.
+  std::size_t sp_computations{0};   ///< Shortest-path (Dijkstra/A*) runs issued.
   std::size_t elb_pruned_pairs{0};  ///< Flow pairs eliminated by ELB alone.
+  std::size_t lm_pruned_pairs{0};   ///< Pairs eliminated by the landmark bound (after ELB).
   std::size_t pairs_evaluated{0};   ///< Flow pairs whose network distance was computed.
 };
 
@@ -80,7 +99,9 @@ struct Phase3Output {
 class Refiner {
  public:
   /// Keeps a reference to the network; do not outlive it. Throws
-  /// neat::PreconditionError on non-positive ε or minPts < 1.
+  /// neat::PreconditionError on non-positive ε, minPts < 1 or
+  /// num_landmarks < 1 (with use_landmarks). Construction is cheap; the
+  /// landmark tables are built lazily on first use.
   Refiner(const roadnet::RoadNetwork& net, RefineConfig config);
 
   /// Runs the refinement over the given flows. Deterministic.
@@ -101,15 +122,54 @@ class Refiner {
   [[nodiscard]] double euclidean_route_hausdorff(const FlowCluster& a,
                                                  const FlowCluster& b) const;
 
+  /// Landmark lower bound on the endpoint Hausdorff distance (Formula 5 over
+  /// the four per-pair landmark bounds — monotonicity keeps it admissible).
+  /// Exposed for tests.
+  [[nodiscard]] double landmark_hausdorff_bound(const FlowCluster& a, const FlowCluster& b,
+                                                const roadnet::LandmarkOracle& lm) const;
+
+  // --- building blocks shared with ParallelRefiner ---------------------------
+
+  /// Distance of one candidate pair exactly as refine() uses it: applies the
+  /// ELB and landmark prunes (returning +inf without any search when one
+  /// fires), otherwise evaluates the configured network Hausdorff with
+  /// batched one-to-many searches. Work counters accumulate into `counters`
+  /// (the `clusters` member is untouched).
+  [[nodiscard]] double refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
+                                            roadnet::NodeDistanceOracle& oracle,
+                                            Phase3Output& counters) const;
+
+  /// The deterministic DBSCAN merge over a precomputed condensed pair
+  /// distance matrix: entry for pair (i, j), i < j, lives at index
+  /// i * n - i * (i + 1) / 2 + (j - i - 1). Only the `clusters` member of
+  /// the result is populated.
+  [[nodiscard]] Phase3Output cluster_from_pair_distances(
+      const std::vector<FlowCluster>& flows, std::span<const double> pair_distances) const;
+
+  /// Pre-seeds the landmark tables (e.g. to share one oracle across many
+  /// refiners or batches). Ignored unless the config enables landmarks.
+  void set_landmarks(std::shared_ptr<const roadnet::LandmarkOracle> landmarks);
+
+  /// The landmark oracle used by this refiner: nullptr when disabled,
+  /// otherwise the seeded or lazily built instance. Thread safe.
+  [[nodiscard]] const roadnet::LandmarkOracle* landmark_oracle() const;
+
+  [[nodiscard]] const RefineConfig& config() const { return config_; }
+  [[nodiscard]] const roadnet::RoadNetwork& network() const { return net_; }
+
  private:
   double network_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                           roadnet::NodeDistanceOracle& oracle) const;
+                           roadnet::NodeDistanceOracle& oracle,
+                           const roadnet::LandmarkOracle* lm) const;
   double network_route_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                                 roadnet::NodeDistanceOracle& oracle) const;
+                                 roadnet::NodeDistanceOracle& oracle,
+                                 const roadnet::LandmarkOracle* lm) const;
   double elb_key(const FlowCluster& a, const FlowCluster& b) const;
 
   const roadnet::RoadNetwork& net_;
   RefineConfig config_;
+  mutable std::mutex landmarks_mu_;
+  mutable std::shared_ptr<const roadnet::LandmarkOracle> landmarks_;
 };
 
 }  // namespace neat

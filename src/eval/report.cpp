@@ -66,7 +66,8 @@ void write_report(std::ostream& out, const roadnet::RoadNetwork& net, const Resu
     if (options.include_phase3_work) {
       out << "  work: " << result.pairs_evaluated << " pairs evaluated, "
           << result.sp_computations << " shortest paths, " << result.elb_pruned_pairs
-          << " ELB-pruned pairs\n";
+          << " ELB-pruned pairs, " << result.lm_pruned_pairs
+          << " landmark-pruned pairs\n";
     }
   }
 

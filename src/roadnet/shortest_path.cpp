@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/error.h"
+#include "roadnet/landmark_oracle.h"
 
 namespace neat::roadnet {
 
@@ -33,11 +34,31 @@ std::vector<NodeId> Route::node_path(const RoadNetwork& net) const {
 NodeDistanceOracle::NodeDistanceOracle(const RoadNetwork& net)
     : net_(net), dist_(net.node_count(), kInfDistance), stamp_(net.node_count(), 0) {}
 
-double NodeDistanceOracle::distance(NodeId s, NodeId t, double bound) {
-  static_cast<void>(net_.node(s));
-  static_cast<void>(net_.node(t));
+double NodeDistanceOracle::search(NodeId s, std::span<const NodeId> targets,
+                                  std::span<double> out, double bound,
+                                  const LandmarkOracle* alt, bool first_only) {
+  for (const NodeId t : targets) static_cast<void>(net_.node(t));
   ++computations_;
-  if (s == t) return 0.0;
+  // The ALT potential: a consistent lower bound on the distance from `u` to
+  // the nearest target. With it the heap is keyed on f = g + h, turning the
+  // Dijkstra into an A* that settles fewer nodes yet returns the exact same
+  // distances (h is admissible and h(target) = 0). Without landmarks h = 0
+  // and this is the plain bounded Dijkstra.
+  const auto potential = [&](NodeId u) {
+    return alt == nullptr ? 0.0 : alt->lower_bound_to_any(u, targets);
+  };
+
+  if (!out.empty()) std::fill(out.begin(), out.end(), kInfDistance);
+  target_done_.assign(targets.size(), 0);
+  std::size_t remaining = targets.size();
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    if (targets[k] != s) continue;
+    if (first_only) return 0.0;
+    out[k] = 0.0;
+    target_done_[k] = 1;
+    --remaining;
+  }
+  if (remaining == 0) return 0.0;
 
   ++generation_;
   const auto idx = [](NodeId n) { return static_cast<std::size_t>(n.value()); };
@@ -45,70 +66,61 @@ double NodeDistanceOracle::distance(NodeId s, NodeId t, double bound) {
   stamp_[idx(s)] = generation_;
 
   MinHeap heap;
-  heap.emplace(0.0, s.value());
+  heap.emplace(potential(s), s.value());
   while (!heap.empty()) {
-    const auto [d, u_raw] = heap.top();
+    const auto [f, u_raw] = heap.top();
     heap.pop();
     const auto u = NodeId(u_raw);
-    if (stamp_[idx(u)] == generation_ && d > dist_[idx(u)]) continue;  // stale entry
-    if (d > bound) return kInfDistance;
+    const double g = dist_[idx(u)];
+    if (f > g + potential(u)) continue;  // stale entry (g improved since push)
+    // f lower-bounds the cost of reaching any remaining target through `u`,
+    // and pops are non-decreasing in f, so the whole frontier is out of
+    // range. Unsettled targets keep kInfDistance.
+    if (f > bound) break;
     ++settled_;
-    if (u == t) return d;
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      if (target_done_[k] || targets[k] != u) continue;
+      if (first_only) return g;
+      out[k] = g;
+      target_done_[k] = 1;
+      if (--remaining == 0) return 0.0;
+    }
     for (const SegmentId sid : net_.segments_at(u)) {
       const Segment& seg = net_.segment(sid);
       const NodeId v = (seg.a == u) ? seg.b : seg.a;
-      const double nd = d + seg.length;
+      const double nd = g + seg.length;
       if (stamp_[idx(v)] != generation_ || nd < dist_[idx(v)]) {
         dist_[idx(v)] = nd;
         stamp_[idx(v)] = generation_;
-        heap.emplace(nd, v.value());
+        heap.emplace(nd + potential(v), v.value());
       }
     }
   }
   return kInfDistance;
 }
 
-double NodeDistanceOracle::distance_to_any(NodeId s, std::span<const NodeId> targets,
-                                           double bound) {
+double NodeDistanceOracle::distance(NodeId s, NodeId t, double bound,
+                                    const LandmarkOracle* alt) {
   static_cast<void>(net_.node(s));
-  if (targets.empty()) return kInfDistance;
-  ++computations_;
-  // Cheap membership test without extra allocation for the common tiny
-  // target sets; fall back to a flag vector for large ones.
-  const auto is_target = [&](NodeId u) {
-    for (const NodeId t : targets) {
-      if (t == u) return true;
-    }
-    return false;
-  };
-  if (is_target(s)) return 0.0;
+  const NodeId targets[1] = {t};
+  return search(s, targets, {}, bound, alt, /*first_only=*/true);
+}
 
-  ++generation_;
-  const auto idx = [](NodeId n) { return static_cast<std::size_t>(n.value()); };
-  dist_[idx(s)] = 0.0;
-  stamp_[idx(s)] = generation_;
-  MinHeap heap;
-  heap.emplace(0.0, s.value());
-  while (!heap.empty()) {
-    const auto [d, u_raw] = heap.top();
-    heap.pop();
-    const auto u = NodeId(u_raw);
-    if (stamp_[idx(u)] == generation_ && d > dist_[idx(u)]) continue;
-    if (d > bound) return kInfDistance;
-    ++settled_;
-    if (is_target(u)) return d;
-    for (const SegmentId sid : net_.segments_at(u)) {
-      const Segment& seg = net_.segment(sid);
-      const NodeId v = (seg.a == u) ? seg.b : seg.a;
-      const double nd = d + seg.length;
-      if (stamp_[idx(v)] != generation_ || nd < dist_[idx(v)]) {
-        dist_[idx(v)] = nd;
-        stamp_[idx(v)] = generation_;
-        heap.emplace(nd, v.value());
-      }
-    }
-  }
-  return kInfDistance;
+double NodeDistanceOracle::distance_to_any(NodeId s, std::span<const NodeId> targets,
+                                           double bound, const LandmarkOracle* alt) {
+  static_cast<void>(net_.node(s));
+  if (targets.empty()) return kInfDistance;  // nothing to reach; no search issued
+  return search(s, targets, {}, bound, alt, /*first_only=*/true);
+}
+
+void NodeDistanceOracle::distances(NodeId s, std::span<const NodeId> targets,
+                                   std::span<double> out, double bound,
+                                   const LandmarkOracle* alt) {
+  static_cast<void>(net_.node(s));
+  NEAT_EXPECT(out.size() == targets.size(),
+              "NodeDistanceOracle::distances: out.size() must equal targets.size()");
+  if (targets.empty()) return;
+  static_cast<void>(search(s, targets, out, bound, alt, /*first_only=*/false));
 }
 
 void NodeDistanceOracle::reset_counters() {

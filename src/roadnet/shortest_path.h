@@ -20,6 +20,8 @@
 
 namespace neat::roadnet {
 
+class LandmarkOracle;
+
 inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
 
 /// Edge weight to optimize when routing.
@@ -42,19 +44,36 @@ struct Route {
 /// Reusable undirected single-pair shortest-distance solver (Dijkstra with a
 /// lazy-deletion binary heap and generation-stamped state, so repeated
 /// queries do not reallocate). Not thread safe; create one per thread.
+///
+/// Every query optionally takes a LandmarkOracle: when given, the search
+/// runs as A* steered by the landmark (ALT) potential — returned distances
+/// are identical (the potential is admissible and consistent), only fewer
+/// nodes are settled.
 class NodeDistanceOracle {
  public:
   explicit NodeDistanceOracle(const RoadNetwork& net);
 
   /// Undirected network distance from `s` to `t` in metres. Returns
   /// kInfDistance when unreachable or when the distance exceeds `bound`.
-  [[nodiscard]] double distance(NodeId s, NodeId t, double bound = kInfDistance);
+  [[nodiscard]] double distance(NodeId s, NodeId t, double bound = kInfDistance,
+                                const LandmarkOracle* alt = nullptr);
 
   /// Undirected network distance from `s` to the *closest* of `targets`
   /// (min over targets), or kInfDistance when none is reachable within
   /// `bound`. One Dijkstra run: the first settled target is the closest.
   [[nodiscard]] double distance_to_any(NodeId s, std::span<const NodeId> targets,
-                                       double bound = kInfDistance);
+                                       double bound = kInfDistance,
+                                       const LandmarkOracle* alt = nullptr);
+
+  /// One-to-many batch: fills `out[k]` with the undirected network distance
+  /// from `s` to `targets[k]` (kInfDistance when unreachable or beyond
+  /// `bound`), in ONE search that stops once every target has settled or the
+  /// frontier passes `bound`. `out.size()` must equal `targets.size()`.
+  /// Counts as a single computation — this is how the Phase 3 refiner
+  /// settles a flow endpoint against both endpoints of another flow without
+  /// paying per-target searches.
+  void distances(NodeId s, std::span<const NodeId> targets, std::span<double> out,
+                 double bound = kInfDistance, const LandmarkOracle* alt = nullptr);
 
   /// Number of Dijkstra runs issued so far (the paper's "number of shortest
   /// path computations").
@@ -67,9 +86,16 @@ class NodeDistanceOracle {
   void reset_counters();
 
  private:
+  /// Shared engine behind the three public queries: bounded, optionally
+  /// ALT-steered, settling either the first target (returning its distance)
+  /// or all of them (filling `out`).
+  double search(NodeId s, std::span<const NodeId> targets, std::span<double> out,
+                double bound, const LandmarkOracle* alt, bool first_only);
+
   const RoadNetwork& net_;
   std::vector<double> dist_;
   std::vector<std::uint32_t> stamp_;
+  std::vector<char> target_done_;  ///< Per-call scratch, sized to the target set.
   std::uint32_t generation_{0};
   std::size_t computations_{0};
   std::size_t settled_{0};

@@ -113,8 +113,10 @@ TEST_P(PipelineSweep, CrossPhaseInvariantsHold) {
   EXPECT_EQ(assigned, all);
 
   // --- Work accounting.
-  EXPECT_EQ(res.sp_computations, 4u * res.pairs_evaluated)
-      << "endpoint mode runs exactly four Dijkstras per evaluated pair";
+  EXPECT_GE(res.sp_computations, res.pairs_evaluated)
+      << "every evaluated pair issues at least one search";
+  EXPECT_LE(res.sp_computations, 2u * res.pairs_evaluated)
+      << "batched endpoint mode runs at most two searches per evaluated pair";
 }
 
 TEST_P(PipelineSweep, ModesAgreeOnSharedPhases) {

@@ -1,0 +1,246 @@
+// Property tests over seeded random networks: the algebraic guarantees the
+// Phase 3 acceleration layer rests on. For many (network, node-pair) samples:
+//  * lower-bound soundness: d_E(s, t) <= landmark bound <= d_N(s, t);
+//  * symmetry: d_N(s, t) == d_N(t, s) (undirected network distance);
+//  * triangle inequality: d_N(s, t) <= d_N(s, u) + d_N(u, t);
+//  * ALT exactness: A* with the landmark potential returns the Dijkstra
+//    distance while settling no more nodes;
+//  * the one-to-many batch agrees with individual queries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "common/geometry.h"
+#include "roadnet/generators.h"
+#include "roadnet/landmark_oracle.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+
+namespace neat::roadnet {
+namespace {
+
+// Deterministic sample of node pairs (with repetition allowed).
+std::vector<std::pair<NodeId, NodeId>> sample_pairs(const RoadNetwork& net,
+                                                    std::size_t count,
+                                                    std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint32_t> pick(
+      0, static_cast<std::uint32_t>(net.node_count() - 1));
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(NodeId(pick(rng)), NodeId(pick(rng)));
+  }
+  return pairs;
+}
+
+std::vector<RoadNetwork> sample_networks() {
+  std::vector<RoadNetwork> nets;
+  for (const std::uint64_t seed : {7u, 21u, 99u}) {
+    CityParams p;
+    p.rows = 12;
+    p.cols = 12;
+    p.seed = seed;
+    nets.push_back(make_city(p));
+  }
+  RadialCityParams rp;
+  rp.rings = 5;
+  rp.spokes = 8;
+  rp.seed = 3;
+  nets.push_back(make_radial_city(rp));
+  nets.push_back(make_grid(9, 9, 120.0));
+  return nets;
+}
+
+TEST(LandmarkProperty, BoundsAreSandwichedBetweenEuclideanAndNetwork) {
+  std::uint64_t seed = 1000;
+  for (const RoadNetwork& net : sample_networks()) {
+    const LandmarkOracle lm(net, 6);
+    NodeDistanceOracle oracle(net);
+    for (const auto& [s, t] : sample_pairs(net, 60, seed++)) {
+      const double d_e = distance(net.node(s).pos, net.node(t).pos);
+      const double bound = lm.lower_bound(s, t);
+      const double d_n = oracle.distance(s, t);
+      // Admissibility: the landmark bound never overshoots the true network
+      // distance (equal-infinity for disconnected pairs is fine). The bound
+      // is tight — equal to d_N when t lies on the landmark-to-s geodesic —
+      // so allow summation-order rounding of the two Dijkstra totals.
+      if (std::isfinite(d_n)) {
+        EXPECT_LE(bound, d_n + 1e-6 * std::max(1.0, d_n))
+            << "landmark bound must be admissible";
+      }
+      if (std::isfinite(d_n)) {
+        // ELB soundness, independent of landmarks.
+        EXPECT_LE(d_e, d_n + 1e-6) << "Euclidean distance must lower-bound d_N";
+      }
+    }
+  }
+}
+
+TEST(LandmarkProperty, BoundIsOftenTighterThanEuclideanOnGrids) {
+  // On a pure grid, network distance is Manhattan-like; the landmark bound
+  // should beat the straight-line bound on a meaningful share of far pairs.
+  const RoadNetwork net = make_grid(12, 12, 100.0);
+  const LandmarkOracle lm(net, 8);
+  std::size_t tighter = 0, total = 0;
+  for (const auto& [s, t] : sample_pairs(net, 200, 42)) {
+    if (s == t) continue;
+    const double d_e = distance(net.node(s).pos, net.node(t).pos);
+    const double bound = lm.lower_bound(s, t);
+    ++total;
+    if (bound > d_e + 1e-9) ++tighter;
+  }
+  EXPECT_GT(tighter * 4, total) << "landmark bound should beat ELB on >25% of grid pairs";
+}
+
+TEST(NetworkDistanceProperty, Symmetry) {
+  std::uint64_t seed = 2000;
+  for (const RoadNetwork& net : sample_networks()) {
+    NodeDistanceOracle oracle(net);
+    for (const auto& [s, t] : sample_pairs(net, 40, seed++)) {
+      const double st = oracle.distance(s, t);
+      const double ts = oracle.distance(t, s);
+      if (std::isfinite(st) || std::isfinite(ts)) {
+        EXPECT_NEAR(st, ts, 1e-6) << "undirected d_N must be symmetric";
+      } else {
+        EXPECT_EQ(std::isinf(st), std::isinf(ts));
+      }
+    }
+  }
+}
+
+TEST(NetworkDistanceProperty, TriangleInequality) {
+  std::uint64_t seed = 3000;
+  for (const RoadNetwork& net : sample_networks()) {
+    NodeDistanceOracle oracle(net);
+    std::mt19937_64 rng(seed++);
+    std::uniform_int_distribution<std::uint32_t> pick(
+        0, static_cast<std::uint32_t>(net.node_count() - 1));
+    for (int rep = 0; rep < 40; ++rep) {
+      const NodeId s(pick(rng)), u(pick(rng)), t(pick(rng));
+      const double st = oracle.distance(s, t);
+      const double su = oracle.distance(s, u);
+      const double ut = oracle.distance(u, t);
+      if (std::isfinite(su) && std::isfinite(ut)) {
+        EXPECT_LE(st, su + ut + 1e-6) << "d_N must satisfy the triangle inequality";
+      }
+    }
+  }
+}
+
+TEST(LandmarkProperty, OracleBoundSatisfiesTriangleInequalityAndSymmetry) {
+  std::uint64_t seed = 4000;
+  for (const RoadNetwork& net : sample_networks()) {
+    const LandmarkOracle lm(net, 6);
+    std::mt19937_64 rng(seed++);
+    std::uniform_int_distribution<std::uint32_t> pick(
+        0, static_cast<std::uint32_t>(net.node_count() - 1));
+    for (int rep = 0; rep < 60; ++rep) {
+      const NodeId s(pick(rng)), u(pick(rng)), t(pick(rng));
+      EXPECT_DOUBLE_EQ(lm.lower_bound(s, t), lm.lower_bound(t, s));
+      EXPECT_DOUBLE_EQ(lm.lower_bound(s, s), 0.0);
+      // |a-c| <= |a-b| + |b-c| landmark-wise, hence for the max as well when
+      // all three bounds are finite.
+      const double st = lm.lower_bound(s, t);
+      const double su = lm.lower_bound(s, u);
+      const double ut = lm.lower_bound(u, t);
+      if (std::isfinite(su) && std::isfinite(ut)) {
+        EXPECT_LE(st, su + ut + 1e-6);
+      }
+    }
+  }
+}
+
+TEST(AltProperty, AStarReturnsExactDistancesWithFewerSettledNodes) {
+  std::uint64_t seed = 5000;
+  for (const RoadNetwork& net : sample_networks()) {
+    const LandmarkOracle lm(net, 6);
+    NodeDistanceOracle plain(net);
+    NodeDistanceOracle steered(net);
+    std::size_t plain_settled = 0, steered_settled = 0;
+    for (const auto& [s, t] : sample_pairs(net, 40, seed++)) {
+      const std::size_t p0 = plain.settled_nodes();
+      const double d = plain.distance(s, t);
+      plain_settled += plain.settled_nodes() - p0;
+      const std::size_t s0 = steered.settled_nodes();
+      const double a = steered.distance(s, t, kInfDistance, &lm);
+      steered_settled += steered.settled_nodes() - s0;
+      if (std::isfinite(d)) {
+        EXPECT_NEAR(a, d, 1e-6) << "ALT A* must return the exact distance";
+      } else {
+        EXPECT_TRUE(std::isinf(a));
+      }
+    }
+    EXPECT_LE(steered_settled, plain_settled)
+        << "the ALT potential must never settle more nodes than plain Dijkstra";
+  }
+}
+
+TEST(BatchProperty, OneToManyMatchesIndividualQueries) {
+  std::uint64_t seed = 6000;
+  for (const RoadNetwork& net : sample_networks()) {
+    NodeDistanceOracle oracle(net);
+    std::mt19937_64 rng(seed++);
+    std::uniform_int_distribution<std::uint32_t> pick(
+        0, static_cast<std::uint32_t>(net.node_count() - 1));
+    for (int rep = 0; rep < 20; ++rep) {
+      const NodeId s(pick(rng));
+      std::vector<NodeId> targets;
+      for (int k = 0; k < 5; ++k) targets.push_back(NodeId(pick(rng)));
+      std::vector<double> batch(targets.size());
+      const std::size_t before = oracle.computations();
+      oracle.distances(s, targets, batch);
+      EXPECT_EQ(oracle.computations(), before + 1) << "a batch is one computation";
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        // Same source, same Dijkstra relaxation order: bitwise equal.
+        EXPECT_DOUBLE_EQ(batch[k], oracle.distance(s, targets[k]));
+      }
+      // distance_to_any == min over the batch.
+      const double any = oracle.distance_to_any(s, targets);
+      EXPECT_DOUBLE_EQ(any, *std::min_element(batch.begin(), batch.end()));
+    }
+  }
+}
+
+TEST(BatchProperty, BoundedBatchNeverUnderreportsReachableTargets) {
+  const RoadNetwork net = make_grid(10, 10, 100.0);
+  NodeDistanceOracle oracle(net);
+  const std::vector<NodeId> targets{NodeId(5), NodeId(42), NodeId(99)};
+  std::vector<double> exact(targets.size());
+  oracle.distances(NodeId(0), targets, exact);
+  std::vector<double> bounded(targets.size());
+  oracle.distances(NodeId(0), targets, bounded, 500.0);
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    if (exact[k] <= 500.0) {
+      EXPECT_DOUBLE_EQ(bounded[k], exact[k]) << "targets within the bound stay exact";
+    } else {
+      EXPECT_TRUE(std::isinf(bounded[k])) << "targets beyond the bound report +inf";
+    }
+  }
+}
+
+TEST(OracleEdgeCases, EmptyTargetSetReturnsInfWithoutSearching) {
+  const RoadNetwork net = make_grid(4, 4, 100.0);
+  NodeDistanceOracle oracle(net);
+  const double d = oracle.distance_to_any(NodeId(0), {});
+  EXPECT_TRUE(std::isinf(d));
+  EXPECT_EQ(oracle.computations(), 0u) << "no Dijkstra run for an empty target set";
+  EXPECT_EQ(oracle.settled_nodes(), 0u);
+}
+
+TEST(LandmarkOracleBasics, DeterministicSelectionAndSelfDistances) {
+  const RoadNetwork net = make_grid(8, 8, 100.0);
+  const LandmarkOracle a(net, 4);
+  const LandmarkOracle b(net, 4);
+  EXPECT_EQ(a.landmarks(), b.landmarks()) << "farthest-point selection is deterministic";
+  EXPECT_EQ(a.landmark_count(), 4u);
+  for (std::size_t i = 0; i < a.landmark_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.landmark_distance(i, a.landmarks()[i]), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace neat::roadnet

@@ -2,6 +2,8 @@
 // random graphs (property sweep), route reconstruction, bounds, SSSP trees.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -57,6 +59,35 @@ TEST(NodeDistanceOracle, ReusableAndCounts) {
   EXPECT_EQ(oracle.computations(), 3u);
   oracle.reset_counters();
   EXPECT_EQ(oracle.computations(), 0u);
+}
+
+TEST(NodeDistanceOracle, EmptyTargetSetIsInfiniteAndFree) {
+  const RoadNetwork net = testutil::line_network(5);
+  NodeDistanceOracle oracle(net);
+  EXPECT_TRUE(std::isinf(oracle.distance_to_any(NodeId(0), {})));
+  EXPECT_EQ(oracle.computations(), 0u) << "no Dijkstra run for an empty target set";
+  EXPECT_EQ(oracle.settled_nodes(), 0u);
+  std::span<double> empty_out;
+  oracle.distances(NodeId(0), {}, empty_out);
+  EXPECT_EQ(oracle.computations(), 0u);
+}
+
+TEST(NodeDistanceOracle, BatchedDistancesFillAllTargets) {
+  const RoadNetwork net = testutil::line_network(5);
+  NodeDistanceOracle oracle(net);
+  const std::vector<NodeId> targets{NodeId(1), NodeId(4), NodeId(0)};
+  std::vector<double> out(targets.size());
+  oracle.distances(NodeId(0), targets, out);
+  EXPECT_EQ(oracle.computations(), 1u) << "the whole batch is one search";
+  EXPECT_DOUBLE_EQ(out[0], 100.0);
+  EXPECT_DOUBLE_EQ(out[1], 400.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
+  // Bounded batch: unreachable-within-bound targets report +inf, close ones
+  // stay exact.
+  oracle.distances(NodeId(0), targets, out, 150.0);
+  EXPECT_DOUBLE_EQ(out[0], 100.0);
+  EXPECT_TRUE(std::isinf(out[1]));
+  EXPECT_DOUBLE_EQ(out[2], 0.0);
 }
 
 // Property: oracle distances match Floyd–Warshall on random connected
