@@ -17,8 +17,41 @@
 #include "core/clusterer.h"
 #include "eval/experiments.h"
 #include "eval/table.h"
+#include "obs/registry.h"
 
 using namespace neat;
+
+namespace {
+
+/// Registry readings the bench tables are built from. Taking before/after
+/// deltas of the live metrics — instead of copying Result fields — keeps the
+/// bench output and what a scraper would see from ever drifting apart.
+struct RegistrySample {
+  double phase1_s{};
+  double phase2_s{};
+  double phase3_s{};
+  std::uint64_t flows{};
+
+  static RegistrySample take() {
+    const obs::Registry& reg = obs::Registry::global();
+    RegistrySample s;
+    s.phase1_s =
+        reg.histogram_sum_seconds("neat_core_phase_duration_seconds", {{"phase", "1"}});
+    s.phase2_s =
+        reg.histogram_sum_seconds("neat_core_phase_duration_seconds", {{"phase", "2"}});
+    s.phase3_s =
+        reg.histogram_sum_seconds("neat_core_phase_duration_seconds", {{"phase", "3"}});
+    s.flows = reg.counter_value("neat_core_flow_clusters_total");
+    return s;
+  }
+
+  RegistrySample operator-(const RegistrySample& rhs) const {
+    return {phase1_s - rhs.phase1_s, phase2_s - rhs.phase2_s, phase3_s - rhs.phase3_s,
+            flows - rhs.flows};
+  }
+};
+
+}  // namespace
 
 int main() {
   eval::print_scale_banner(std::cout, "Figure 6: NEAT scaling (MIA datasets)");
@@ -37,17 +70,19 @@ int main() {
 
   for (const std::size_t objects : eval::kPaperObjectCounts) {
     const traj::TrajectoryDataset& data = env.dataset("MIA", objects);
-    const Result res = clusterer.run(data);  // one run, cumulative timings
-    const double base_s = res.timing.phase1_s;
-    const double flow_s = res.timing.phase1_s + res.timing.phase2_s;
-    const double opt_s = res.timing.total_s();
+    const RegistrySample before = RegistrySample::take();
+    static_cast<void>(clusterer.run(data));  // one run, cumulative timings
+    const RegistrySample d = RegistrySample::take() - before;
+    const double base_s = d.phase1_s;
+    const double flow_s = d.phase1_s + d.phase2_s;
+    const double opt_s = d.phase1_s + d.phase2_s + d.phase3_s;
     scaling.add_row({str_cat("MIA", objects), std::to_string(data.total_points()),
                      format_fixed(base_s, 3), format_fixed(flow_s, 3),
-                     format_fixed(opt_s, 3), std::to_string(res.flow_clusters.size())});
-    const double p12 = res.timing.phase1_s + res.timing.phase2_s;
-    relative.add_row({str_cat("MIA", objects), format_fixed(res.timing.phase1_s, 3),
-                      format_fixed(res.timing.phase2_s, 3),
-                      format_fixed(p12 > 0 ? 100.0 * res.timing.phase1_s / p12 : 0.0, 1)});
+                     format_fixed(opt_s, 3), std::to_string(d.flows)});
+    const double p12 = d.phase1_s + d.phase2_s;
+    relative.add_row({str_cat("MIA", objects), format_fixed(d.phase1_s, 3),
+                      format_fixed(d.phase2_s, 3),
+                      format_fixed(p12 > 0 ? 100.0 * d.phase1_s / p12 : 0.0, 1)});
   }
 
   std::cout << "(a) cumulative running time per NEAT version:\n";
@@ -73,11 +108,13 @@ int main() {
     pcfg.refine.epsilon = 3000.0;
     pcfg.refine.use_elb = false;
     pcfg.refine.threads = threads;
+    const RegistrySample before = RegistrySample::take();
     const Result res = NeatClusterer(net, pcfg).run(big);
-    if (threads == 1) serial_s = res.timing.phase3_s;
+    const double phase3_s = RegistrySample::take().phase3_s - before.phase3_s;
+    if (threads == 1) serial_s = phase3_s;
     par.add_row({str_cat("MIA", largest), std::to_string(threads),
-                 format_fixed(res.timing.phase3_s, 3),
-                 format_fixed(res.timing.phase3_s > 0 ? serial_s / res.timing.phase3_s : 0.0, 2),
+                 format_fixed(phase3_s, 3),
+                 format_fixed(phase3_s > 0 ? serial_s / phase3_s : 0.0, 2),
                  std::to_string(res.final_clusters.size())});
   }
   std::cout << "\n(c) Phase 3 wall time vs refine threads (pruning off), "

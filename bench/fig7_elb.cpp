@@ -17,6 +17,7 @@
 #include "core/clusterer.h"
 #include "eval/experiments.h"
 #include "eval/table.h"
+#include "obs/registry.h"
 
 using namespace neat;
 
@@ -25,6 +26,27 @@ namespace {
 struct Variant {
   const char* name;
   Config config;
+};
+
+/// Pruning counters read back from the metric registry. The table reports
+/// before/after deltas of the live counters rather than the Result's copies,
+/// so the bench CSV and a scraper's view cannot drift apart.
+struct PruneSample {
+  std::uint64_t sp_calls{};
+  std::uint64_t elb_pruned{};
+  std::uint64_t lm_pruned{};
+
+  static PruneSample take() {
+    const obs::Registry& reg = obs::Registry::global();
+    return {reg.counter_value("neat_core_sp_computations_total"),
+            reg.counter_value("neat_core_elb_pruned_pairs_total"),
+            reg.counter_value("neat_core_lm_pruned_pairs_total")};
+  }
+
+  PruneSample operator-(const PruneSample& rhs) const {
+    return {sp_calls - rhs.sp_calls, elb_pruned - rhs.elb_pruned,
+            lm_pruned - rhs.lm_pruned};
+  }
 };
 
 std::vector<Variant> variants() {
@@ -49,13 +71,15 @@ void run_city(const char* city, eval::ExperimentEnv& env) {
   for (const std::size_t objects : eval::kPaperObjectCounts) {
     const traj::TrajectoryDataset& data = env.dataset(city, objects);
     for (const Variant& v : variants()) {
+      const PruneSample before = PruneSample::take();
       const Result r = NeatClusterer(net, v.config).run(data);
+      const PruneSample d = PruneSample::take() - before;
       table.add_row({str_cat(city, objects), std::to_string(r.flow_clusters.size()),
                      v.name, format_fixed(r.timing.total_s(), 3),
                      format_fixed(r.timing.phase3_s, 3),
-                     std::to_string(r.sp_computations),
-                     std::to_string(r.elb_pruned_pairs),
-                     std::to_string(r.lm_pruned_pairs)});
+                     std::to_string(d.sp_calls),
+                     std::to_string(d.elb_pruned),
+                     std::to_string(d.lm_pruned)});
     }
   }
   std::cout << "(" << (city[0] == 'A' ? "a" : "b") << ") " << city << " datasets:\n";

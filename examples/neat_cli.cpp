@@ -8,7 +8,14 @@
 //                [--mode base|flow|opt] [--epsilon M] [--min-card N|auto]
 //                [--wq X --wk Y --wv Z] [--beta B] [--no-elb]
 //                [--landmarks N] [--threads N] [--refine-threads N]
+//                [--metrics-out metrics.prom] [--trace-out trace.json]
 //                [--out prefix]
+//
+// --metrics-out dumps the run's metric registry as Prometheus text
+// exposition; --trace-out enables the pipeline tracer and writes a Chrome
+// trace_event JSON loadable in chrome://tracing or https://ui.perfetto.dev
+// (nested spans for Phases 1-3 including one span per parallel-refiner
+// worker).
 //
 // Try it end to end (generates its own demo inputs when given --demo):
 //   $ ./neat_cli --demo
@@ -23,6 +30,8 @@
 #include "common/string_util.h"
 #include "core/clusterer.h"
 #include "eval/report.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "roadnet/generators.h"
 #include "roadnet/io.h"
 #include "sim/mobility_simulator.h"
@@ -36,6 +45,8 @@ struct CliOptions {
   std::string network_path;
   std::string trajectories_path;
   std::string out_prefix{"neat_out"};
+  std::string metrics_out;  ///< Prometheus text exposition file ("" = off).
+  std::string trace_out;    ///< Chrome trace JSON file ("" = tracing off).
   Config config;
   bool demo{false};
 };
@@ -47,6 +58,7 @@ struct CliOptions {
             << "                [--min-card N|auto] [--wq X --wk Y --wv Z]\n"
             << "                [--beta B|inf] [--no-elb] [--landmarks N]\n"
             << "                [--threads N] [--refine-threads N] [--out PREFIX]\n"
+            << "                [--metrics-out FILE] [--trace-out FILE]\n"
             << "       neat_cli --demo   (self-contained demonstration)\n";
   std::exit(2);
 }
@@ -100,6 +112,10 @@ CliOptions parse_args(int argc, char** argv) {
         if (n < 1) usage("--landmarks must be >= 1");
         opt.config.refine.use_landmarks = true;
         opt.config.refine.num_landmarks = static_cast<int>(n);
+      } else if (arg == "--metrics-out") {
+        opt.metrics_out = next_value(i);
+      } else if (arg == "--trace-out") {
+        opt.trace_out = next_value(i);
       } else if (arg == "--no-elb") {
         opt.config.refine.use_elb = false;
       } else if (arg == "--demo") {
@@ -144,6 +160,7 @@ void write_flows_csv(const roadnet::RoadNetwork& net, const Result& res,
 int main(int argc, char** argv) {
   try {
     CliOptions opt = parse_args(argc, argv);
+    if (!opt.trace_out.empty()) obs::Tracer::global().set_enabled(true);
 
     if (opt.demo) {
       // Self-contained demonstration: generate inputs, write them next to
@@ -176,6 +193,20 @@ int main(int argc, char** argv) {
       const std::string flows_path = opt.out_prefix + "_flows.csv";
       write_flows_csv(net, res, flows_path);
       std::cout << "flow clusters written to " << flows_path << '\n';
+    }
+
+    if (!opt.metrics_out.empty()) {
+      std::ofstream out(opt.metrics_out);
+      if (!out) throw Error(str_cat("cannot open '", opt.metrics_out, "' for writing"));
+      out << obs::Registry::global().to_prometheus();
+      std::cout << "metrics written to " << opt.metrics_out << '\n';
+    }
+    if (!opt.trace_out.empty()) {
+      std::ofstream out(opt.trace_out);
+      if (!out) throw Error(str_cat("cannot open '", opt.trace_out, "' for writing"));
+      out << obs::Tracer::global().to_chrome_json();
+      std::cout << "trace written to " << opt.trace_out
+                << " (load in chrome://tracing or ui.perfetto.dev)\n";
     }
     return 0;
   } catch (const Error& e) {

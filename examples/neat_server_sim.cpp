@@ -95,8 +95,11 @@ int main() {
               << f.route_length_m << " m (cluster " << f.final_cluster << ")\n";
   }
 
-  // --- operations: scrape the built-in metrics.
+  // --- operations: scrape the built-in metrics, both as the legacy JSON
+  // blob and as the Prometheus text exposition a real scraper would pull.
   std::cout << "metrics: " << metrics.to_json() << '\n';
+  std::cout << "--- prometheus exposition ---\n"
+            << metrics.registry().to_prometheus() << "-----------------------------\n";
 
   // --- durability: persist the served snapshot and a GeoJSON payload any
   // map client could render.

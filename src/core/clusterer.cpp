@@ -2,8 +2,22 @@
 
 #include "common/stopwatch.h"
 #include "core/parallel_refiner.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace neat {
+
+namespace {
+
+// Phase wall-clock goes to the registry under the naming convention of
+// DESIGN.md §"Observability"; one histogram series per phase label.
+void record_phase_seconds(const char* phase, double seconds) {
+  obs::Registry::global()
+      .histogram("neat_core_phase_duration_seconds", {{"phase", phase}})
+      .record(seconds);
+}
+
+}  // namespace
 
 NeatClusterer::NeatClusterer(const roadnet::RoadNetwork& net, Config config)
     : net_(net), config_(config) {
@@ -15,39 +29,59 @@ NeatClusterer::NeatClusterer(const roadnet::RoadNetwork& net, Config config)
 }
 
 Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
+  obs::ScopedSpan run_span("neat.run");
+  run_span.arg("trajectories", static_cast<std::uint64_t>(data.size()));
   Result result;
   Stopwatch watch;
 
   // Phase 1: base cluster formation.
-  const Fragmenter fragmenter(net_);
-  Phase1Output p1 = fragmenter.build_base_clusters(data, config_.phase1_threads);
-  result.base_clusters = std::move(p1.base_clusters);
-  result.num_fragments = p1.num_fragments;
-  result.num_gap_repairs = p1.num_gap_repairs;
+  {
+    obs::ScopedSpan span("neat.phase1");
+    const Fragmenter fragmenter(net_);
+    Phase1Output p1 = fragmenter.build_base_clusters(data, config_.phase1_threads);
+    result.base_clusters = std::move(p1.base_clusters);
+    result.num_fragments = p1.num_fragments;
+    result.num_gap_repairs = p1.num_gap_repairs;
+    span.arg("fragments", static_cast<std::uint64_t>(result.num_fragments));
+    span.arg("base_clusters", static_cast<std::uint64_t>(result.base_clusters.size()));
+  }
   result.timing.phase1_s = watch.elapsed_seconds();
+  record_phase_seconds("1", result.timing.phase1_s);
   if (config_.mode == Mode::kBase) return result;
 
   // Phase 2: flow cluster formation.
   watch.restart();
-  const FlowBuilder builder(net_, result.base_clusters, config_.flow);
-  Phase2Output p2 = builder.build();
-  result.flow_clusters = std::move(p2.flows);
-  result.filtered_flows = std::move(p2.filtered_flows);
-  result.effective_min_card = p2.effective_min_card;
+  {
+    obs::ScopedSpan span("neat.phase2");
+    const FlowBuilder builder(net_, result.base_clusters, config_.flow);
+    Phase2Output p2 = builder.build();
+    result.flow_clusters = std::move(p2.flows);
+    result.filtered_flows = std::move(p2.filtered_flows);
+    result.effective_min_card = p2.effective_min_card;
+    span.arg("flows", static_cast<std::uint64_t>(result.flow_clusters.size()));
+    span.arg("filtered", static_cast<std::uint64_t>(result.filtered_flows.size()));
+  }
   result.timing.phase2_s = watch.elapsed_seconds();
+  record_phase_seconds("2", result.timing.phase2_s);
   if (config_.mode == Mode::kFlow) return result;
 
   // Phase 3: flow cluster refinement (parallel across RefineConfig::threads;
   // output is bit-identical to the serial refiner).
   watch.restart();
-  const ParallelRefiner refiner(net_, config_.refine);
-  Phase3Output p3 = refiner.refine(result.flow_clusters);
-  result.final_clusters = std::move(p3.clusters);
-  result.sp_computations = p3.sp_computations;
-  result.elb_pruned_pairs = p3.elb_pruned_pairs;
-  result.lm_pruned_pairs = p3.lm_pruned_pairs;
-  result.pairs_evaluated = p3.pairs_evaluated;
+  {
+    obs::ScopedSpan span("neat.phase3");
+    const ParallelRefiner refiner(net_, config_.refine);
+    Phase3Output p3 = refiner.refine(result.flow_clusters);
+    result.final_clusters = std::move(p3.clusters);
+    result.sp_computations = p3.sp_computations;
+    result.elb_pruned_pairs = p3.elb_pruned_pairs;
+    result.lm_pruned_pairs = p3.lm_pruned_pairs;
+    result.pairs_evaluated = p3.pairs_evaluated;
+    span.arg("final_clusters", static_cast<std::uint64_t>(result.final_clusters.size()));
+    span.arg("sp_computations", static_cast<std::uint64_t>(result.sp_computations));
+  }
   result.timing.phase3_s = watch.elapsed_seconds();
+  record_phase_seconds("3", result.timing.phase3_s);
   return result;
 }
 

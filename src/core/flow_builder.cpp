@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "core/netflow.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace neat {
 
@@ -56,6 +58,7 @@ FlowBuilder::FlowBuilder(const roadnet::RoadNetwork& net,
 }
 
 Phase2Output FlowBuilder::build() const {
+  obs::ScopedSpan span("phase2.build_flows");
   Phase2Output out;
   std::vector<bool> alive(base_.size(), true);
   // Dense lookup: segment id -> index into base_ (for alive neighbors).
@@ -195,6 +198,14 @@ Phase2Output FlowBuilder::build() const {
       out.filtered_flows.push_back(std::move(f));
     }
   }
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("neat_core_flow_clusters_total").add(out.flows.size());
+  reg.counter("neat_core_filtered_flows_total").add(out.filtered_flows.size());
+  span.arg("base_clusters", static_cast<std::uint64_t>(base_.size()));
+  span.arg("flows", static_cast<std::uint64_t>(out.flows.size()));
+  span.arg("filtered", static_cast<std::uint64_t>(out.filtered_flows.size()));
+  span.arg("effective_min_card", out.effective_min_card);
   return out;
 }
 

@@ -9,6 +9,8 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "roadnet/shortest_path.h"
 
 namespace neat {
@@ -232,6 +234,7 @@ traj::Trajectory Fragmenter::augmented(const traj::Trajectory& tr) const {
 
 Phase1Output Fragmenter::build_base_clusters(const traj::TrajectoryDataset& data,
                                              unsigned n_threads) const {
+  obs::ScopedSpan span("phase1.build_base_clusters");
   Phase1Output out;
 
   // Fragment extraction, optionally parallel over trajectories. Results are
@@ -281,6 +284,18 @@ Phase1Output Fragmenter::build_base_clusters(const traj::TrajectoryDataset& data
     return a.sid() < b.sid();
   });
   out.base_clusters = std::move(clusters);
+
+  // Bulk registry update once per build: the per-fragment loop above stays
+  // free of shared atomics.
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("neat_core_trajectories_total").add(data.size());
+  reg.counter("neat_core_fragments_total").add(out.num_fragments);
+  reg.counter("neat_core_gap_repairs_total").add(out.num_gap_repairs);
+  reg.counter("neat_core_base_clusters_total").add(out.base_clusters.size());
+  span.arg("trajectories", static_cast<std::uint64_t>(data.size()));
+  span.arg("fragments", static_cast<std::uint64_t>(out.num_fragments));
+  span.arg("gap_repairs", static_cast<std::uint64_t>(out.num_gap_repairs));
+  span.arg("threads", static_cast<std::uint64_t>(workers));
   return out;
 }
 

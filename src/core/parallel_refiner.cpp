@@ -5,6 +5,9 @@
 #include <exception>
 #include <thread>
 
+#include "common/string_util.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "roadnet/landmark_oracle.h"
 
 namespace neat {
@@ -23,6 +26,10 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
   const std::size_t n = flows.size();
   const unsigned threads = std::max(1u, refiner_.config().threads);
   if (threads <= 1 || n < 2) return refiner_.refine(flows);
+
+  obs::ScopedSpan span("phase3.refine.parallel");
+  span.arg("flows", static_cast<std::uint64_t>(n));
+  span.arg("threads", static_cast<std::uint64_t>(threads));
 
   // Build the shared landmark tables before spawning: workers only read.
   const roadnet::LandmarkOracle* lm = refiner_.landmark_oracle();
@@ -48,14 +55,21 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
   for (unsigned w = 0; w < workers; ++w) {
     pool.emplace_back([&, w] {
       try {
+        // One span per worker: the trace shows every worker's lifetime side
+        // by side, with its share of the prune/search work as args.
+        obs::Tracer::global().set_thread_name(str_cat("refine-worker-", w));
+        obs::ScopedSpan worker_span("phase3.worker");
+        worker_span.arg("worker", static_cast<std::uint64_t>(w));
         roadnet::NodeDistanceOracle oracle(refiner_.network());
         // Stack-local counters avoid false sharing between workers' slots of
         // the shared vector; merged once at thread end.
         Phase3Output local;
+        std::size_t claimed = 0;
         for (;;) {
           const std::size_t begin = next.fetch_add(kChunkPairs, std::memory_order_relaxed);
           if (begin >= total_pairs) break;
           const std::size_t end = std::min(begin + kChunkPairs, total_pairs);
+          claimed += end - begin;
           std::size_t i = 0;
           while (row_end(i) <= begin) ++i;
           std::size_t j = i + 1 + (begin - (i * n - i * (i + 1) / 2));
@@ -68,6 +82,13 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
             }
           }
         }
+        worker_span.arg("pairs_claimed", static_cast<std::uint64_t>(claimed));
+        worker_span.arg("pairs_evaluated",
+                        static_cast<std::uint64_t>(local.pairs_evaluated));
+        worker_span.arg("elb_pruned", static_cast<std::uint64_t>(local.elb_pruned_pairs));
+        worker_span.arg("lm_pruned", static_cast<std::uint64_t>(local.lm_pruned_pairs));
+        worker_span.arg("sp_computations",
+                        static_cast<std::uint64_t>(local.sp_computations));
         counters[w] = std::move(local);
       } catch (...) {
         errors[w] = std::current_exception();
@@ -79,6 +100,7 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
     if (e) std::rethrow_exception(e);
   }
 
+  obs::ScopedSpan merge_span("phase3.cluster");
   Phase3Output out = refiner_.cluster_from_pair_distances(flows, pair_dist);
   // Counters are order-independent sums, so the totals match the serial run
   // exactly no matter how chunks were interleaved.
@@ -88,6 +110,11 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
     out.lm_pruned_pairs += c.lm_pruned_pairs;
     out.pairs_evaluated += c.pairs_evaluated;
   }
+  detail::add_phase3_metrics(out, total_pairs, refiner_.config().use_landmarks);
+  obs::Registry::global()
+      .counter("neat_core_final_clusters_total")
+      .add(out.clusters.size());
+  span.arg("final_clusters", static_cast<std::uint64_t>(out.clusters.size()));
   return out;
 }
 

@@ -7,6 +7,8 @@
 
 #include "common/error.h"
 #include "core/netflow.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "roadnet/landmark_oracle.h"
 
 namespace neat {
@@ -14,6 +16,27 @@ namespace neat {
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
+
+namespace detail {
+
+void add_phase3_metrics(const Phase3Output& counters, std::size_t total_pairs,
+                        bool landmarks_enabled) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("neat_core_pairs_total").add(total_pairs);
+  reg.counter("neat_core_pairs_evaluated_total").add(counters.pairs_evaluated);
+  reg.counter("neat_core_elb_pruned_pairs_total").add(counters.elb_pruned_pairs);
+  reg.counter("neat_core_lm_pruned_pairs_total").add(counters.lm_pruned_pairs);
+  reg.counter("neat_core_sp_computations_total").add(counters.sp_computations);
+  if (landmarks_enabled) {
+    // Landmark-bound hit rate: checks are the pairs that survived ELB and
+    // reached the triangle-inequality test, hits the pairs it eliminated.
+    reg.counter("neat_core_lm_bound_checks_total")
+        .add(total_pairs - counters.elb_pruned_pairs);
+    reg.counter("neat_core_lm_bound_hits_total").add(counters.lm_pruned_pairs);
+  }
+}
+
+}  // namespace detail
 
 double hausdorff_from_parts(double d11, double d12, double d21, double d22) {
   // Eq. 5: max over each endpoint of one route of its distance to the
@@ -260,6 +283,8 @@ Phase3Output Refiner::cluster_from_pair_distances(
 Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
   const std::size_t n = flows.size();
   if (n == 0) return {};
+  obs::ScopedSpan span("phase3.refine");
+  span.arg("flows", static_cast<std::uint64_t>(n));
 
   // The DBSCAN below queries the ε-neighborhood of every flow exactly once,
   // so every unordered pair is needed regardless of how the merge unfolds.
@@ -268,18 +293,32 @@ Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
   Phase3Output counters;
   roadnet::NodeDistanceOracle oracle(net_);
   std::vector<double> pair_dist(n * (n - 1) / 2);
-  std::size_t p = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      pair_dist[p++] = refine_pair_distance(flows[i], flows[j], oracle, counters);
+  {
+    obs::ScopedSpan pairs_span("phase3.pair_distances");
+    std::size_t p = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        pair_dist[p++] = refine_pair_distance(flows[i], flows[j], oracle, counters);
+      }
     }
+    pairs_span.arg("pairs", static_cast<std::uint64_t>(pair_dist.size()));
+    pairs_span.arg("elb_pruned", static_cast<std::uint64_t>(counters.elb_pruned_pairs));
+    pairs_span.arg("lm_pruned", static_cast<std::uint64_t>(counters.lm_pruned_pairs));
+    pairs_span.arg("sp_computations",
+                   static_cast<std::uint64_t>(counters.sp_computations));
   }
 
+  obs::ScopedSpan merge_span("phase3.cluster");
   Phase3Output out = cluster_from_pair_distances(flows, pair_dist);
+  detail::add_phase3_metrics(counters, pair_dist.size(), config_.use_landmarks);
   out.sp_computations = counters.sp_computations;
   out.elb_pruned_pairs = counters.elb_pruned_pairs;
   out.lm_pruned_pairs = counters.lm_pruned_pairs;
   out.pairs_evaluated = counters.pairs_evaluated;
+  obs::Registry::global()
+      .counter("neat_core_final_clusters_total")
+      .add(out.clusters.size());
+  span.arg("final_clusters", static_cast<std::uint64_t>(out.clusters.size()));
   return out;
 }
 

@@ -95,6 +95,14 @@ struct Phase3Output {
 /// endpoint distances d(a_i, b_j). Exposed for tests.
 [[nodiscard]] double hausdorff_from_parts(double d11, double d12, double d21, double d22);
 
+namespace detail {
+/// Adds one Phase-3 run's work counters to the global metric registry —
+/// one bulk update so the per-pair hot loop never touches shared atomics.
+/// Shared by the serial and parallel refiners.
+void add_phase3_metrics(const Phase3Output& counters, std::size_t total_pairs,
+                        bool landmarks_enabled);
+}  // namespace detail
+
 /// Merges flow clusters into final trajectory clusters.
 class Refiner {
  public:

@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace neat::mapmatch {
 
@@ -30,6 +32,8 @@ LookAheadMatcher::LookAheadMatcher(const roadnet::RoadNetwork& net,
 
 traj::Trajectory LookAheadMatcher::match(const traj::RawTrace& trace,
                                          MatchStats* stats) const {
+  obs::ScopedSpan span("mapmatch.match");
+  MatchStats local;  // registry counts are per call, independent of `stats`
   traj::Trajectory out(trace.id);
 
   // 1. Candidate generation; points without candidates are dropped.
@@ -40,7 +44,7 @@ traj::Trajectory LookAheadMatcher::match(const traj::RawTrace& trace,
     const std::vector<SegmentId> near =
         index_.k_nearest_segments(rp.pos, config_.max_candidates, config_.candidate_radius_m);
     if (near.empty()) {
-      if (stats != nullptr) ++stats->dropped_points;
+      ++local.dropped_points;
       continue;
     }
     std::vector<Candidate> cs;
@@ -52,9 +56,29 @@ traj::Trajectory LookAheadMatcher::match(const traj::RawTrace& trace,
     }
     candidates.push_back(std::move(cs));
     times.push_back(rp.t);
-    if (stats != nullptr) ++stats->matched_points;
+    ++local.matched_points;
   }
-  if (candidates.empty()) return out;
+
+  // Point-level accounting: the caller's stats accumulate across calls, the
+  // registry gets one bulk update per trace, the span carries the counts.
+  const auto record = [&] {
+    if (stats != nullptr) {
+      stats->matched_points += local.matched_points;
+      stats->dropped_points += local.dropped_points;
+    }
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("neat_mapmatch_traces_total").add(1);
+    reg.counter("neat_mapmatch_points_total", {{"outcome", "matched"}})
+        .add(local.matched_points);
+    reg.counter("neat_mapmatch_points_total", {{"outcome", "dropped"}})
+        .add(local.dropped_points);
+    span.arg("matched_points", static_cast<std::uint64_t>(local.matched_points));
+    span.arg("dropped_points", static_cast<std::uint64_t>(local.dropped_points));
+  };
+  if (candidates.empty()) {
+    record();
+    return out;
+  }
 
   // 2. Viterbi over the candidate lattice: the whole remaining trace is the
   // look-ahead window.
@@ -101,11 +125,14 @@ traj::Trajectory LookAheadMatcher::match(const traj::RawTrace& trace,
     const Candidate& c = candidates[i][chosen[i]];
     out.append(traj::Location{c.sid, c.projected, times[i], false});
   }
+  record();
   return out;
 }
 
 traj::TrajectoryDataset LookAheadMatcher::match_all(
     const std::vector<traj::RawTrace>& traces, MatchStats* stats) const {
+  obs::ScopedSpan span("mapmatch.match_all");
+  span.arg("traces", static_cast<std::uint64_t>(traces.size()));
   traj::TrajectoryDataset out;
   for (const traj::RawTrace& trace : traces) {
     traj::Trajectory matched = match(trace, stats);

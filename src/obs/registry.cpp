@@ -1,0 +1,263 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace neat::obs {
+
+namespace {
+
+// Index of the log2 bucket for a microsecond value: 0 for < 1 µs, else
+// floor(log2(us)) + 1, clamped to the last bucket. `us` must be >= 0 and
+// non-NaN (record() guarantees it).
+std::size_t bucket_of(double us) {
+  if (!(us >= 1.0)) return 0;
+  if (us >= std::ldexp(1.0, static_cast<int>(Log2Histogram::kBuckets) - 2)) {
+    return Log2Histogram::kBuckets - 1;
+  }
+  return static_cast<std::size_t>(std::floor(std::log2(us))) + 1;
+}
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto ok_first = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!ok_first(name.front())) return false;
+  return std::all_of(name.begin(), name.end(), [&](char c) {
+    return ok_first(c) || std::isdigit(static_cast<unsigned char>(c));
+  });
+}
+
+// Shortest round-trip decimal representation, the conventional Prometheus
+// number formatting (also keeps the exposition golden-testable).
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::array<char, 32> buf{};
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  return ec == std::errc() ? std::string(buf.data(), ptr) : std::to_string(v);
+}
+
+void append_label_value_escaped(std::string& out, const std::string& v) {
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+}
+
+// `{k1="v1",k2="v2"}`, empty string for no labels; `extra` (e.g. a
+// histogram `le`) is appended last when non-empty.
+std::string label_block(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const Label& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key;
+    out += "=\"";
+    append_label_value_escaped(out, l.value);
+    out += '"';
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+void Log2Histogram::record(double seconds) {
+  // Guard against hostile durations: NaN and negatives count as 0 (a clock
+  // misread is still one observation), +inf and overflowing values saturate
+  // into the last bucket instead of invoking UB on the float->int cast.
+  double us = seconds * 1e6;
+  if (std::isnan(us) || us < 0.0) us = 0.0;
+  constexpr double kMaxUs = 9.0e18;  // < 2^63, cast to uint64_t is exact-safe
+  us = std::min(us, kMaxUs);
+  buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(us), std::memory_order_relaxed);
+}
+
+std::uint64_t Log2Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Log2Histogram::sum_seconds() const {
+  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e6;
+}
+
+double Log2Histogram::mean_seconds() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return sum_seconds() / static_cast<double>(n);
+}
+
+double Log2Histogram::quantile_seconds(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; ceil so q=0.5 of 2 picks the 1st.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_upper_seconds(i);
+  }
+  return bucket_upper_seconds(kBuckets - 1);
+}
+
+std::uint64_t Log2Histogram::bucket_count(std::size_t i) const {
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Log2Histogram::bucket_upper_seconds(std::size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i)) / 1e6;  // 2^i µs.
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Series& Registry::series(std::string_view name, Labels labels, Kind kind) {
+  NEAT_EXPECT(valid_metric_name(name),
+              str_cat("Registry: invalid metric name '", std::string(name), "'"));
+  for (const Label& l : labels) {
+    NEAT_EXPECT(valid_metric_name(l.key),
+                str_cat("Registry: invalid label key '", l.key, "'"));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  Family* family = nullptr;
+  for (const auto& f : families_) {
+    if (f->name == name) {
+      family = f.get();
+      break;
+    }
+  }
+  if (family == nullptr) {
+    families_.push_back(std::make_unique<Family>());
+    family = families_.back().get();
+    family->name = std::string(name);
+    family->kind = kind;
+  }
+  NEAT_EXPECT(family->kind == kind,
+              str_cat("Registry: metric family '", family->name,
+                      "' already registered with a different kind"));
+  for (const auto& s : family->series) {
+    if (s->labels == labels) return *s;
+  }
+  family->series.push_back(std::make_unique<Series>());
+  Series& s = *family->series.back();
+  s.labels = std::move(labels);
+  switch (kind) {
+    case Kind::kCounter: s.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: s.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram: s.histogram = std::make_unique<Log2Histogram>(); break;
+  }
+  return s;
+}
+
+const Registry::Series* Registry::find(std::string_view name, const Labels& labels) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& f : families_) {
+    if (f->name != name) continue;
+    for (const auto& s : f->series) {
+      if (s->labels == labels) return s.get();
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+Counter& Registry::counter(std::string_view name, Labels labels) {
+  return *series(name, std::move(labels), Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, Labels labels) {
+  return *series(name, std::move(labels), Kind::kGauge).gauge;
+}
+
+Log2Histogram& Registry::histogram(std::string_view name, Labels labels) {
+  return *series(name, std::move(labels), Kind::kHistogram).histogram;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name, const Labels& labels) const {
+  const Series* s = find(name, labels);
+  return (s != nullptr && s->counter) ? s->counter->value() : 0;
+}
+
+double Registry::histogram_sum_seconds(std::string_view name, const Labels& labels) const {
+  const Series* s = find(name, labels);
+  return (s != nullptr && s->histogram) ? s->histogram->sum_seconds() : 0.0;
+}
+
+std::string Registry::to_prometheus() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& f : families_) {
+    out += "# TYPE ";
+    out += f->name;
+    switch (f->kind) {
+      case Kind::kCounter: out += " counter\n"; break;
+      case Kind::kGauge: out += " gauge\n"; break;
+      case Kind::kHistogram: out += " histogram\n"; break;
+    }
+    for (const auto& s : f->series) {
+      switch (f->kind) {
+        case Kind::kCounter:
+          out += f->name + label_block(s->labels) + ' ' +
+                 std::to_string(s->counter->value()) + '\n';
+          break;
+        case Kind::kGauge:
+          out += f->name + label_block(s->labels) + ' ' +
+                 format_double(s->gauge->value()) + '\n';
+          break;
+        case Kind::kHistogram: {
+          const Log2Histogram& h = *s->histogram;
+          // Cumulative buckets; trailing all-zero tail is collapsed into the
+          // +Inf line to keep the exposition readable.
+          std::size_t last = 0;
+          for (std::size_t i = 0; i < Log2Histogram::kBuckets; ++i) {
+            if (h.bucket_count(i) > 0) last = i;
+          }
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i <= last; ++i) {
+            cumulative += h.bucket_count(i);
+            out += f->name + "_bucket" +
+                   label_block(s->labels, str_cat("le=\"",
+                       format_double(Log2Histogram::bucket_upper_seconds(i)), "\"")) +
+                   ' ' + std::to_string(cumulative) + '\n';
+          }
+          out += f->name + "_bucket" + label_block(s->labels, "le=\"+Inf\"") + ' ' +
+                 std::to_string(h.count()) + '\n';
+          out += f->name + "_sum" + label_block(s->labels) + ' ' +
+                 format_double(h.sum_seconds()) + '\n';
+          out += f->name + "_count" + label_block(s->labels) + ' ' +
+                 std::to_string(h.count()) + '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace neat::obs

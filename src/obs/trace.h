@@ -1,0 +1,130 @@
+// Scoped-span pipeline tracer — the timeline half of the observability layer
+// (the counter half lives in obs/registry.h).
+//
+// A span is one named wall-clock interval (steady-clock µs) on one thread,
+// opened/closed by the RAII ScopedSpan. Each thread appends finished spans
+// to its own log (per-thread mutex, uncontended except during export), so
+// the natural nesting of C++ scopes becomes the thread-local span stack —
+// Chrome's trace viewer reconstructs the hierarchy from interval
+// containment per thread. Spans can carry key/value args (counters,
+// cardinalities) that show up in the viewer's detail pane.
+//
+// Cost model: tracing is off by default; a disabled ScopedSpan is one
+// relaxed atomic load in the constructor and a dead branch in the
+// destructor, so leaving spans compiled into hot paths is free for
+// practical purposes. When enabled, each span is two steady_clock reads
+// plus one vector push.
+//
+// Export is Chrome trace_event JSON (the `{"traceEvents": [...]}` object
+// form) loadable in chrome://tracing and https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace neat::obs {
+
+/// Collects spans from any number of threads. `Tracer::global()` is the
+/// process-wide instance the pipeline reports into; tests may construct
+/// private tracers. Thread logs outlive their threads, so spans from joined
+/// workers are always part of the export.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer.
+  static Tracer& global();
+
+  /// Turns span collection on or off (off at construction). Spans already
+  /// open keep their state; only constructor-time state matters per span.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Names the calling thread in the exported trace (e.g. "refine-worker-3").
+  /// No-op when disabled.
+  void set_thread_name(const std::string& name);
+
+  /// Total spans recorded so far, across all threads.
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Discards every recorded span (thread logs stay registered).
+  void clear();
+
+  /// Chrome trace_event JSON: complete ("ph":"X") events with ts/dur in µs
+  /// plus thread_name metadata, wrapped as {"traceEvents": [...]}.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Microseconds on the tracer's steady clock (process-start epoch).
+  [[nodiscard]] static double now_us();
+
+  // Implementation detail, public only for the thread-local log cache in
+  // trace.cpp; not part of the supported API.
+  struct SpanEvent {
+    const char* name;       // static-storage span name
+    double ts_us;           // start, µs since process start
+    double dur_us;          // duration, µs
+    std::string args_json;  // preformatted `"k":v` fragments, comma-joined
+  };
+
+  struct ThreadLog {
+    std::mutex mu;
+    std::uint32_t tid{0};
+    std::string name;
+    std::vector<SpanEvent> events;
+  };
+
+ private:
+  friend class ScopedSpan;
+
+  /// The calling thread's log for this tracer, registered on first use.
+  ThreadLog& local_log();
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t id_;  // distinguishes tracers in the thread-local cache
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<ThreadLog>> logs_;
+  std::atomic<std::uint32_t> next_tid_{1};
+};
+
+/// RAII span: records [construction, destruction) on the calling thread of
+/// `tracer`. Near-zero cost when the tracer is disabled. Spans must be
+/// closed on the thread that opened them (automatic with scope-based use).
+class ScopedSpan {
+ public:
+  /// `name` must have static storage duration (string literals).
+  explicit ScopedSpan(const char* name, Tracer& tracer = Tracer::global());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key/value argument shown in the trace viewer. No-op when
+  /// the span is inactive (tracer disabled at construction).
+  void arg(const char* key, std::uint64_t v);
+  void arg(const char* key, std::int64_t v);
+  void arg(const char* key, double v);
+  void arg(const char* key, const char* v);
+  void arg(const char* key, const std::string& v);
+
+  /// Whether this span is recording (tracer was enabled at construction).
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+ private:
+  void arg_raw(const char* key, std::string value_json);
+
+  Tracer* tracer_{nullptr};  // null when inactive
+  const char* name_;
+  double start_us_{0.0};
+  std::string args_;
+};
+
+/// JSON string escaping shared by the exporters (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace neat::obs

@@ -5,6 +5,9 @@
 #include <queue>
 
 #include "common/error.h"
+#include "common/stopwatch.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "roadnet/shortest_path.h"
 
 namespace neat::roadnet {
@@ -60,6 +63,8 @@ NodeId farthest_node(std::span<const double> dist, std::span<const char> used) {
 LandmarkOracle::LandmarkOracle(const RoadNetwork& net, int num_landmarks) : net_(net) {
   NEAT_EXPECT(num_landmarks >= 1, "LandmarkOracle: num_landmarks must be at least 1");
   NEAT_EXPECT(net.node_count() > 0, "LandmarkOracle: network has no junctions");
+  obs::ScopedSpan span("landmark.build");
+  const Stopwatch watch;
   const std::size_t n = net.node_count();
   stride_ = n;
 
@@ -94,6 +99,14 @@ LandmarkOracle::LandmarkOracle(const RoadNetwork& net, int num_landmarks) : net_
     next = farthest_node(min_dist, used);
     if (next.valid() && min_dist[static_cast<std::size_t>(next.value())] <= 0.0) break;
   }
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("neat_roadnet_landmark_builds_total").add(1);
+  reg.counter("neat_roadnet_landmarks_selected_total").add(landmarks_.size());
+  reg.histogram("neat_roadnet_landmark_build_duration_seconds")
+      .record(watch.elapsed_seconds());
+  span.arg("landmarks", static_cast<std::uint64_t>(landmarks_.size()));
+  span.arg("junctions", static_cast<std::uint64_t>(n));
 }
 
 double LandmarkOracle::lower_bound(NodeId s, NodeId t) const {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace neat::serve {
 
@@ -56,14 +57,17 @@ void IngestService::stop() {
 }
 
 void IngestService::run() {
+  obs::Tracer::global().set_thread_name("serve-ingest");
   while (auto batch = queue_.pop()) {
     process_batch(std::move(*batch));
   }
 }
 
 void IngestService::process_batch(traj::TrajectoryDataset batch) {
+  obs::ScopedSpan span("serve.ingest_batch");
   const Stopwatch watch;
   const std::size_t n_trajectories = batch.size();
+  span.arg("trajectories", static_cast<std::uint64_t>(n_trajectories));
   try {
     clusterer_.add_batch(batch);
     auto [flows, clusters] = clusterer_.snapshot_state();
@@ -72,6 +76,7 @@ void IngestService::process_batch(traj::TrajectoryDataset batch) {
         ClusterSnapshot::build(net_, std::move(flows), std::move(clusters), version));
     published_.store(version, std::memory_order_release);
     metrics_.record_ingest(n_trajectories, watch.elapsed_seconds(), version);
+    span.arg("version", version);
   } catch (const Error&) {
     // Bad batch (duplicate ids, unknown segments, ...): drop it, keep
     // serving the previous snapshot.

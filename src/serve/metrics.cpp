@@ -1,8 +1,6 @@
 #include "serve/metrics.h"
 
-#include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <sstream>
 
 namespace neat::serve {
@@ -15,117 +13,83 @@ std::int64_t steady_now_us() {
       .count();
 }
 
-// Index of the log2 bucket for a microsecond value: 0 for < 1 µs, else
-// floor(log2(us)) + 1, clamped to the last bucket.
-std::size_t bucket_of(double us) {
-  if (us < 1.0) return 0;
-  const auto exp = static_cast<std::size_t>(std::floor(std::log2(us))) + 1;
-  return std::min(exp, LatencyHistogram::kBuckets - 1);
+obs::Registry* pick(obs::Registry* external, std::unique_ptr<obs::Registry>& owned) {
+  if (external != nullptr) return external;
+  owned = std::make_unique<obs::Registry>();
+  return owned.get();
 }
 
 }  // namespace
 
-void LatencyHistogram::record(double seconds) {
-  const double us = std::max(0.0, seconds * 1e6);
-  buckets_[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_us_.fetch_add(static_cast<std::uint64_t>(us), std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  return count_.load(std::memory_order_relaxed);
-}
-
-double LatencyHistogram::mean_seconds() const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  return static_cast<double>(sum_us_.load(std::memory_order_relaxed)) / 1e6 /
-         static_cast<double>(n);
-}
-
-double LatencyHistogram::quantile_seconds(double q) const {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  // Rank of the target observation, 1-based; ceil so q=0.5 of 2 picks the 1st.
-  const auto rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) return bucket_upper_seconds(i);
-  }
-  return bucket_upper_seconds(kBuckets - 1);
-}
-
-std::uint64_t LatencyHistogram::bucket_count(std::size_t i) const {
-  return buckets_[i].load(std::memory_order_relaxed);
-}
-
-double LatencyHistogram::bucket_upper_seconds(std::size_t i) {
-  return std::ldexp(1.0, static_cast<int>(i)) / 1e6;  // 2^i µs.
-}
+Metrics::Metrics(obs::Registry* registry)
+    : reg_(pick(registry, owned_)),
+      query_latency_(reg_->histogram("neat_serve_query_duration_seconds")),
+      ingest_latency_(reg_->histogram("neat_serve_ingest_duration_seconds")),
+      nearest_flow_queries_(
+          reg_->counter("neat_serve_queries_total", {{"kind", "nearest_flow"}})),
+      segment_queries_(
+          reg_->counter("neat_serve_queries_total", {{"kind", "segment_flows"}})),
+      top_k_queries_(reg_->counter("neat_serve_queries_total", {{"kind", "top_k"}})),
+      empty_snapshot_queries_(reg_->counter("neat_serve_empty_snapshot_queries_total")),
+      batches_ingested_(reg_->counter("neat_serve_ingest_batches_total", {{"result", "ok"}})),
+      batches_rejected_(
+          reg_->counter("neat_serve_ingest_batches_total", {{"result", "rejected"}})),
+      batches_failed_(
+          reg_->counter("neat_serve_ingest_batches_total", {{"result", "failed"}})),
+      trajectories_ingested_(reg_->counter("neat_serve_ingested_trajectories_total")),
+      snapshot_version_(reg_->gauge("neat_serve_snapshot_version")),
+      last_publish_gauge_(reg_->gauge("neat_serve_last_publish_timestamp_seconds")) {}
 
 void Metrics::record_query(QueryKind kind, double seconds) {
   switch (kind) {
-    case QueryKind::kNearestFlow:
-      nearest_flow_queries_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case QueryKind::kSegmentFlows:
-      segment_queries_.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case QueryKind::kTopK:
-      top_k_queries_.fetch_add(1, std::memory_order_relaxed);
-      break;
+    case QueryKind::kNearestFlow: nearest_flow_queries_.add(); break;
+    case QueryKind::kSegmentFlows: segment_queries_.add(); break;
+    case QueryKind::kTopK: top_k_queries_.add(); break;
   }
   query_latency_.record(seconds);
 }
 
-void Metrics::record_empty_snapshot_query() {
-  empty_snapshot_queries_.fetch_add(1, std::memory_order_relaxed);
-}
+void Metrics::record_empty_snapshot_query() { empty_snapshot_queries_.add(); }
 
 void Metrics::record_ingest(std::size_t trajectories, double seconds,
                             std::uint64_t version) {
-  batches_ingested_.fetch_add(1, std::memory_order_relaxed);
-  trajectories_ingested_.fetch_add(trajectories, std::memory_order_relaxed);
+  batches_ingested_.add();
+  trajectories_ingested_.add(trajectories);
   ingest_latency_.record(seconds);
-  snapshot_version_.store(version, std::memory_order_relaxed);
-  last_publish_us_.store(steady_now_us(), std::memory_order_relaxed);
+  snapshot_version_.set(static_cast<double>(version));
+  const std::int64_t now = steady_now_us();
+  last_publish_us_.store(now, std::memory_order_relaxed);
+  last_publish_gauge_.set(static_cast<double>(now) / 1e6);
 }
 
-void Metrics::record_rejected_batch() {
-  batches_rejected_.fetch_add(1, std::memory_order_relaxed);
-}
+void Metrics::record_rejected_batch() { batches_rejected_.add(); }
 
-void Metrics::record_failed_batch() {
-  batches_failed_.fetch_add(1, std::memory_order_relaxed);
-}
+void Metrics::record_failed_batch() { batches_failed_.add(); }
 
 double Metrics::snapshot_age_seconds() const {
   const std::int64_t at = last_publish_us_.load(std::memory_order_relaxed);
-  if (at == 0) return 0.0;
+  if (at < 0) return -1.0;  // sentinel: nothing published yet
   return static_cast<double>(steady_now_us() - at) / 1e6;
 }
 
 std::uint64_t Metrics::snapshot_version() const {
-  return snapshot_version_.load(std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(snapshot_version_.value());
 }
 
 MetricsSnapshot Metrics::snapshot() const {
   MetricsSnapshot s;
-  s.nearest_flow_queries = nearest_flow_queries_.load(std::memory_order_relaxed);
-  s.segment_queries = segment_queries_.load(std::memory_order_relaxed);
-  s.top_k_queries = top_k_queries_.load(std::memory_order_relaxed);
+  s.nearest_flow_queries = nearest_flow_queries_.value();
+  s.segment_queries = segment_queries_.value();
+  s.top_k_queries = top_k_queries_.value();
   s.queries_total = s.nearest_flow_queries + s.segment_queries + s.top_k_queries;
-  s.empty_snapshot_queries = empty_snapshot_queries_.load(std::memory_order_relaxed);
+  s.empty_snapshot_queries = empty_snapshot_queries_.value();
   s.query_p50_s = query_latency_.quantile_seconds(0.50);
   s.query_p99_s = query_latency_.quantile_seconds(0.99);
   s.query_mean_s = query_latency_.mean_seconds();
-  s.batches_ingested = batches_ingested_.load(std::memory_order_relaxed);
-  s.batches_rejected = batches_rejected_.load(std::memory_order_relaxed);
-  s.batches_failed = batches_failed_.load(std::memory_order_relaxed);
-  s.trajectories_ingested = trajectories_ingested_.load(std::memory_order_relaxed);
+  s.batches_ingested = batches_ingested_.value();
+  s.batches_rejected = batches_rejected_.value();
+  s.batches_failed = batches_failed_.value();
+  s.trajectories_ingested = trajectories_ingested_.value();
   s.ingest_p50_s = ingest_latency_.quantile_seconds(0.50);
   s.ingest_mean_s = ingest_latency_.mean_seconds();
   s.snapshot_version = snapshot_version();

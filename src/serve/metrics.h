@@ -1,53 +1,34 @@
 // Built-in serving metrics (counters + fixed-bucket latency histograms).
 //
-// Every mutation is a relaxed atomic increment, so recording from many query
-// threads never serializes them; reads produce a consistent-enough snapshot
-// for monitoring (each gauge is individually atomic, the set is not). The
-// latency histogram uses fixed log2 buckets over microseconds — bucket i
-// counts observations in [2^(i-1), 2^i) µs — which keeps recording a single
-// fetch_add and makes percentile extraction trivial. The JSON schema is
-// documented in DESIGN.md §"Serving architecture".
+// Since the unified observability layer landed, serve::Metrics is a typed
+// facade over an obs::Registry: every counter/histogram lives in a registry
+// under the `neat_serve_*` naming convention (DESIGN.md §"Observability"),
+// so the same numbers are available as Prometheus text exposition. By
+// default each Metrics owns a private registry (multiple serving stacks in
+// one process stay isolated); pass one explicitly to aggregate into a
+// shared registry such as obs::Registry::global().
+//
+// The mutation hot path is unchanged: every record is a relaxed atomic
+// increment on a cached series reference, so recording from many query
+// threads never serializes them. The latency histograms are the shared
+// log2-bucket design (obs::Log2Histogram) — bucket i counts observations in
+// [2^(i-1), 2^i) µs. The JSON schema of to_json() predates the registry and
+// is kept byte-compatible; it is documented in DESIGN.md §"Serving
+// architecture".
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "obs/registry.h"
 
 namespace neat::serve {
 
-/// Lock-free latency histogram with fixed log2 buckets over microseconds.
-/// Bucket 0 counts observations below 1 µs; bucket i (i >= 1) counts
-/// [2^(i-1), 2^i) µs; the last bucket absorbs everything above ~35 minutes.
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 32;
-
-  /// Records one observation. Thread-safe, wait-free.
-  void record(double seconds);
-
-  /// Total observations recorded.
-  [[nodiscard]] std::uint64_t count() const;
-
-  /// Mean latency in seconds (0 when empty).
-  [[nodiscard]] double mean_seconds() const;
-
-  /// Latency at quantile `q` in [0, 1], in seconds, as the upper edge of the
-  /// bucket containing that quantile (0 when empty). Conservative: the true
-  /// value is at most this.
-  [[nodiscard]] double quantile_seconds(double q) const;
-
-  /// Raw count of bucket `i`.
-  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const;
-
-  /// Upper edge of bucket `i` in seconds (2^i µs).
-  [[nodiscard]] static double bucket_upper_seconds(std::size_t i);
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_us_{0};
-};
+/// Lock-free latency histogram with fixed log2 buckets over microseconds —
+/// the design now shared with the whole pipeline through obs::Log2Histogram.
+using LatencyHistogram = obs::Log2Histogram;
 
 /// One coherent read of every serving metric, for export.
 struct MetricsSnapshot {
@@ -66,7 +47,9 @@ struct MetricsSnapshot {
   double ingest_p50_s{0.0};
   double ingest_mean_s{0.0};
   std::uint64_t snapshot_version{0};
-  double snapshot_age_s{0.0};
+  /// Seconds since the last publication; negative (-1) when no snapshot has
+  /// ever been published, so "never" and "just now" are distinguishable.
+  double snapshot_age_s{-1.0};
 };
 
 /// Shared metrics registry for one serving stack (QueryEngine + Ingest).
@@ -74,6 +57,10 @@ struct MetricsSnapshot {
 class Metrics {
  public:
   enum class QueryKind { kNearestFlow, kSegmentFlows, kTopK };
+
+  /// Backs the metrics with `registry` (not owned; must outlive this
+  /// object), or with a private owned registry when null.
+  explicit Metrics(obs::Registry* registry = nullptr);
 
   /// Records one finished query of `kind` taking `seconds`.
   void record_query(QueryKind kind, double seconds);
@@ -92,8 +79,8 @@ class Metrics {
   /// continues with the previous snapshot.
   void record_failed_batch();
 
-  /// Seconds since the most recent snapshot publication (0 before the
-  /// first publish).
+  /// Seconds since the most recent snapshot publication; -1.0 before the
+  /// first publish (sentinel: ages are otherwise never negative).
   [[nodiscard]] double snapshot_age_seconds() const;
 
   /// Version of the most recently published snapshot (0 = none yet).
@@ -102,26 +89,35 @@ class Metrics {
   [[nodiscard]] const LatencyHistogram& query_latency() const { return query_latency_; }
   [[nodiscard]] const LatencyHistogram& ingest_latency() const { return ingest_latency_; }
 
+  /// The registry backing this object — use registry().to_prometheus() for
+  /// a metrics text dump.
+  [[nodiscard]] const obs::Registry& registry() const { return *reg_; }
+
   /// A coherent-enough point-in-time read of every gauge.
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   /// Serializes snapshot() plus both raw histograms as a JSON object (schema
-  /// in DESIGN.md).
+  /// in DESIGN.md; unchanged by the registry migration except `age_s`,
+  /// which is -1 before the first publish).
   [[nodiscard]] std::string to_json() const;
 
  private:
-  LatencyHistogram query_latency_;
-  LatencyHistogram ingest_latency_;
-  std::atomic<std::uint64_t> nearest_flow_queries_{0};
-  std::atomic<std::uint64_t> segment_queries_{0};
-  std::atomic<std::uint64_t> top_k_queries_{0};
-  std::atomic<std::uint64_t> empty_snapshot_queries_{0};
-  std::atomic<std::uint64_t> batches_ingested_{0};
-  std::atomic<std::uint64_t> batches_rejected_{0};
-  std::atomic<std::uint64_t> batches_failed_{0};
-  std::atomic<std::uint64_t> trajectories_ingested_{0};
-  std::atomic<std::uint64_t> snapshot_version_{0};
-  std::atomic<std::int64_t> last_publish_us_{0};  ///< steady-clock µs; 0 = never.
+  std::unique_ptr<obs::Registry> owned_;  ///< Present when no registry was passed.
+  obs::Registry* reg_;
+  // Cached series references; all creation happens in the constructor.
+  obs::Log2Histogram& query_latency_;
+  obs::Log2Histogram& ingest_latency_;
+  obs::Counter& nearest_flow_queries_;
+  obs::Counter& segment_queries_;
+  obs::Counter& top_k_queries_;
+  obs::Counter& empty_snapshot_queries_;
+  obs::Counter& batches_ingested_;
+  obs::Counter& batches_rejected_;
+  obs::Counter& batches_failed_;
+  obs::Counter& trajectories_ingested_;
+  obs::Gauge& snapshot_version_;
+  obs::Gauge& last_publish_gauge_;  ///< Steady-clock publish time, seconds.
+  std::atomic<std::int64_t> last_publish_us_{-1};  ///< steady-clock µs; -1 = never.
 };
 
 }  // namespace neat::serve

@@ -1,0 +1,324 @@
+// Tests for the observability layer (src/obs/): metric registry semantics,
+// the Log2Histogram duration guard, golden Prometheus text exposition, and
+// Chrome trace_event JSON export (validated with a strict JSON parser).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace neat::obs {
+namespace {
+
+// --- a strict recursive-descent JSON validator for the trace exporter.
+// Accepts exactly the RFC 8259 grammar (minus number edge cases the
+// exporter cannot produce); returns true iff the whole string is one valid
+// JSON value. Deliberately tiny: the point is "does a real parser accept
+// this", not speed.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (!eat(*p)) return false;
+    }
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control characters are invalid inside strings
+      }
+      ++pos_;
+    }
+    return eat('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+    if (eat('.')) {
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') {
+      ++pos_;
+      skip_ws();
+      if (eat('}')) return true;
+      for (;;) {
+        skip_ws();
+        if (!string()) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        if (!value()) return false;
+        skip_ws();
+        if (eat('}')) return true;
+        if (!eat(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      skip_ws();
+      if (eat(']')) return true;
+      for (;;) {
+        if (!value()) return false;
+        skip_ws();
+        if (eat(']')) return true;
+        if (!eat(',')) return false;
+      }
+    }
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  const std::string& s_;
+  std::size_t pos_{0};
+};
+
+// --- Registry semantics ---------------------------------------------------
+
+TEST(Registry, SeriesAreCreatedOnceAndReferencesAreStable) {
+  Registry reg;
+  Counter& a = reg.counter("neat_test_total", {{"kind", "a"}});
+  Counter& b = reg.counter("neat_test_total", {{"kind", "b"}});
+  EXPECT_NE(&a, &b);
+  a.add(2);
+  b.add(5);
+  EXPECT_EQ(&a, &reg.counter("neat_test_total", {{"kind", "a"}}));
+  EXPECT_EQ(reg.counter_value("neat_test_total", {{"kind", "a"}}), 2u);
+  EXPECT_EQ(reg.counter_value("neat_test_total", {{"kind", "b"}}), 5u);
+}
+
+TEST(Registry, ReadAccessorsDoNotCreateSeries) {
+  Registry reg;
+  EXPECT_EQ(reg.counter_value("neat_test_missing_total"), 0u);
+  EXPECT_EQ(reg.histogram_sum_seconds("neat_test_missing_seconds"), 0.0);
+  EXPECT_EQ(reg.to_prometheus(), "");  // the lookups above created nothing
+}
+
+TEST(Registry, RejectsInvalidNamesAndKindMismatches) {
+  Registry reg;
+  EXPECT_THROW(reg.counter("1starts_with_digit"), PreconditionError);
+  EXPECT_THROW(reg.counter(""), PreconditionError);
+  EXPECT_THROW(reg.counter("has space"), PreconditionError);
+  EXPECT_THROW(reg.counter("neat_ok_total", {{"bad key", "v"}}), PreconditionError);
+  reg.counter("neat_test_total");
+  EXPECT_THROW(reg.gauge("neat_test_total"), PreconditionError);
+  EXPECT_THROW(reg.histogram("neat_test_total"), PreconditionError);
+}
+
+// --- Log2Histogram duration guard (NaN / negative / overflow) -------------
+
+TEST(Log2Histogram, GuardsAgainstHostileDurations) {
+  Log2Histogram h;
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(-1.0);
+  h.record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 3u);  // all clamped to the sub-µs bucket
+  EXPECT_EQ(h.sum_seconds(), 0.0);
+
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(1e30);  // would overflow the uint64 µs cast without the clamp
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket_count(Log2Histogram::kBuckets - 1), 2u);
+  EXPECT_TRUE(std::isfinite(h.sum_seconds()));
+  EXPECT_TRUE(std::isfinite(h.quantile_seconds(0.99)));
+}
+
+TEST(Log2Histogram, BucketsAndQuantiles) {
+  Log2Histogram h;
+  EXPECT_EQ(h.quantile_seconds(0.5), 0.0);
+  EXPECT_EQ(h.mean_seconds(), 0.0);
+  for (int i = 0; i < 9; ++i) h.record(2e-6);  // bucket 2: [2, 4) µs
+  h.record(1000e-6);                           // bucket 10: [512, 1024) µs
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.bucket_count(2), 9u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(0.5), Log2Histogram::bucket_upper_seconds(2));
+  EXPECT_DOUBLE_EQ(h.quantile_seconds(1.0), Log2Histogram::bucket_upper_seconds(10));
+  EXPECT_NEAR(h.sum_seconds(), 9 * 2e-6 + 1000e-6, 1e-9);
+}
+
+// --- Prometheus exposition (golden) ---------------------------------------
+
+TEST(Prometheus, GoldenExposition) {
+  Registry reg;
+  reg.counter("neat_test_requests_total", {{"kind", "a"}}).add(3);
+  reg.counter("neat_test_requests_total", {{"kind", "b"}}).add(1);
+  reg.gauge("neat_test_version").set(7.0);
+  Log2Histogram& h = reg.histogram("neat_test_latency_seconds");
+  h.record(2e-6);
+  h.record(2e-6);
+  h.record(100e-6);
+
+  const std::string expected =
+      "# TYPE neat_test_requests_total counter\n"
+      "neat_test_requests_total{kind=\"a\"} 3\n"
+      "neat_test_requests_total{kind=\"b\"} 1\n"
+      "# TYPE neat_test_version gauge\n"
+      "neat_test_version 7\n"
+      "# TYPE neat_test_latency_seconds histogram\n"
+      "neat_test_latency_seconds_bucket{le=\"1e-06\"} 0\n"
+      "neat_test_latency_seconds_bucket{le=\"2e-06\"} 0\n"
+      "neat_test_latency_seconds_bucket{le=\"4e-06\"} 2\n"
+      "neat_test_latency_seconds_bucket{le=\"8e-06\"} 2\n"
+      "neat_test_latency_seconds_bucket{le=\"1.6e-05\"} 2\n"
+      "neat_test_latency_seconds_bucket{le=\"3.2e-05\"} 2\n"
+      "neat_test_latency_seconds_bucket{le=\"6.4e-05\"} 2\n"
+      "neat_test_latency_seconds_bucket{le=\"0.000128\"} 3\n"
+      "neat_test_latency_seconds_bucket{le=\"+Inf\"} 3\n"
+      "neat_test_latency_seconds_sum 0.000104\n"
+      "neat_test_latency_seconds_count 3\n";
+  EXPECT_EQ(reg.to_prometheus(), expected);
+}
+
+TEST(Prometheus, LabeledHistogramPutsLeLastAndEscapesValues) {
+  Registry reg;
+  reg.histogram("neat_test_seconds", {{"phase", "1"}}).record(2e-6);
+  reg.counter("neat_test_total", {{"path", "a\"b\\c\nd"}}).add(1);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("neat_test_seconds_bucket{phase=\"1\",le=\"4e-06\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("neat_test_total{path=\"a\\\"b\\\\c\\nd\"} 1"), std::string::npos)
+      << text;
+}
+
+// --- Tracer / ScopedSpan ---------------------------------------------------
+
+TEST(Tracer, DisabledSpansCostNothingAndRecordNothing) {
+  Tracer tracer;  // disabled at construction
+  {
+    ScopedSpan span("never.recorded", tracer);
+    EXPECT_FALSE(span.active());
+    span.arg("ignored", std::uint64_t{1});
+  }
+  tracer.set_thread_name("ignored");
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.to_chrome_json(), "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(Tracer, NestedSpansExportAsValidChromeTraceJson) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_thread_name("main");
+  {
+    ScopedSpan outer("test.outer", tracer);
+    EXPECT_TRUE(outer.active());
+    outer.arg("count", std::uint64_t{42});
+    outer.arg("ratio", 0.5);
+    outer.arg("label", "quoted \"text\"");
+    ScopedSpan inner("test.inner", tracer);
+    inner.arg("neg", std::int64_t{-3});
+  }
+  std::thread worker([&tracer] {
+    tracer.set_thread_name("worker-0");
+    ScopedSpan span("test.worker", tracer);
+  });
+  worker.join();
+  EXPECT_EQ(tracer.span_count(), 3u);
+
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  for (const char* fragment :
+       {"{\"traceEvents\":[", "\"ph\":\"X\"", "\"ph\":\"M\"", "\"name\":\"test.outer\"",
+        "\"name\":\"test.inner\"", "\"name\":\"test.worker\"", "\"cat\":\"neat\"",
+        "\"count\":42", "\"neg\":-3", "\"ratio\":0.5", "\"label\":\"quoted \\\"text\\\"\"",
+        "\"name\":\"main\"", "\"name\":\"worker-0\"", "\"displayTimeUnit\":\"ms\""}) {
+    EXPECT_NE(json.find(fragment), std::string::npos) << "missing " << fragment << " in "
+                                                      << json;
+  }
+
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(Tracer, SpansFromJoinedThreadsSurviveInTheExport) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int t = 0; t < 3; ++t) {
+    std::thread([&tracer] { ScopedSpan span("test.joined", tracer); }).join();
+  }
+  EXPECT_EQ(tracer.span_count(), 3u);
+  EXPECT_TRUE(JsonValidator(tracer.to_chrome_json()).valid());
+}
+
+TEST(JsonEscape, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonValidatorSelfTest, RejectsMalformedJson) {
+  const std::string empty_object("{}");
+  EXPECT_TRUE(JsonValidator(empty_object).valid());
+  for (const char* bad : {"{", "[1,]", "{\"a\":}", "\"unterminated", "{'a':1}", "01x"}) {
+    const std::string s(bad);
+    EXPECT_FALSE(JsonValidator(s).valid()) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace neat::obs

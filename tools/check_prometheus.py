@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Tiny format checker for Prometheus text exposition (version 0.0.4).
+
+Used by the CI observability smoke job to validate `neat_cli --metrics-out`
+artifacts. Checks, line by line:
+
+  * every line is a comment (`# TYPE name kind`, `# HELP ...`) or a sample
+    `name{labels} value` with a parseable value;
+  * metric and label names match the Prometheus grammar;
+  * every sample belongs to a family announced by a `# TYPE` line, with the
+    suffix rules for histograms (`_bucket`/`_sum`/`_count`);
+  * histogram `_bucket` series are cumulative (non-decreasing in `le`) and
+    end with an `le="+Inf"` bucket equal to `_count`.
+
+Exit code 0 when the file is valid, 1 with a message on stderr otherwise.
+
+  $ python3 tools/check_prometheus.py metrics.prom
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def fail(lineno, msg):
+    sys.stderr.write(f"check_prometheus: line {lineno}: {msg}\n")
+    sys.exit(1)
+
+
+def parse_value(raw, lineno):
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return float(raw.replace("Inf", "inf").replace("NaN", "nan"))
+    try:
+        return float(raw)
+    except ValueError:
+        fail(lineno, f"unparseable sample value {raw!r}")
+
+
+def split_labels(block, lineno):
+    labels = {}
+    if not block:
+        return labels
+    for part in block.split(","):
+        m = LABEL_RE.match(part)
+        if m is None:
+            fail(lineno, f"malformed label {part!r}")
+        labels[m.group("key")] = m.group("value")
+    return labels
+
+
+def family_of(name, types):
+    """The declared family a sample name belongs to, or None."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name.removesuffix(suffix)
+        if base != name and types.get(base) == "histogram":
+            return base
+    return None
+
+
+def main(path):
+    types = {}  # family name -> kind
+    # (family, labels-without-le as sorted tuple) -> list of (le, cumulative)
+    buckets = {}
+    counts = {}
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split(maxsplit=3)
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4:
+                        fail(lineno, f"malformed TYPE line {line!r}")
+                    name, kind = parts[2], parts[3]
+                    if NAME_RE.fullmatch(name) is None:
+                        fail(lineno, f"invalid metric name {name!r}")
+                    if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                        fail(lineno, f"unknown metric kind {kind!r}")
+                    if name in types:
+                        fail(lineno, f"duplicate TYPE for {name!r}")
+                    types[name] = kind
+                continue
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                fail(lineno, f"unparseable sample line {line!r}")
+            name = m.group("name")
+            labels = split_labels(m.group("labels"), lineno)
+            value = parse_value(m.group("value"), lineno)
+            family = family_of(name, types)
+            if family is None:
+                fail(lineno, f"sample {name!r} has no preceding # TYPE line")
+            if types[family] == "histogram":
+                key = (family, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        fail(lineno, f"histogram bucket {name!r} missing le label")
+                    buckets.setdefault(key, []).append((labels["le"], value, lineno))
+                elif name.endswith("_count"):
+                    counts[key] = (value, lineno)
+
+    if not types:
+        fail(0, "no metric families found")
+    for key, series in buckets.items():
+        prev = -1.0
+        for le, value, lineno in series:
+            if value < prev:
+                fail(lineno, f"histogram {key[0]!r} buckets not cumulative at le={le}")
+            prev = value
+        last_le, last_value, lineno = series[-1]
+        if last_le != "+Inf":
+            fail(lineno, f"histogram {key[0]!r} does not end with an le=\"+Inf\" bucket")
+        if key in counts and counts[key][0] != last_value:
+            fail(counts[key][1],
+                 f"histogram {key[0]!r} _count {counts[key][0]} != +Inf bucket {last_value}")
+    print(f"check_prometheus: {path}: OK "
+          f"({len(types)} families, {len(buckets)} histogram series)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        sys.stderr.write("usage: check_prometheus.py FILE\n")
+        sys.exit(2)
+    main(sys.argv[1])
