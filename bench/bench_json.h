@@ -1,0 +1,118 @@
+// Machine-readable bench trajectory output.
+//
+// Each paper-figure bench binary, besides its human tables and CSVs, writes
+// one BENCH_<name>.json under bench_results/ so CI can chart a performance
+// trajectory across commits and fail on regressions (tools/bench_diff.py
+// compares two such files). The payload pins the provenance a later diff
+// needs: git sha, UTC timestamp, repeat count, and the NEAT_BENCH_* scales:
+//
+//   {"bench":"fig6","git_sha":"abc...","timestamp":"2026-08-05T12:00:00Z",
+//    "repeats":3,"object_scale":0.1,"network_scale":1.0,
+//    "rows":[{"name":"MIA500","metrics":{"opt_s":0.123,...}},...]}
+//
+// Repeats: NEAT_BENCH_REPEATS (default 1) is how many times each measured
+// run executes; every metric value reported is the median over those runs,
+// so one background-noise spike cannot fail a CI gate.
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "obs/trace.h"  // json_escape
+
+#ifndef NEAT_GIT_SHA
+#define NEAT_GIT_SHA "unknown"
+#endif
+
+namespace neat::bench {
+
+/// Measured runs per data point (NEAT_BENCH_REPEATS, default 1, min 1).
+inline int repeats() {
+  const char* env = std::getenv("NEAT_BENCH_REPEATS");
+  if (env == nullptr) return 1;
+  const int n = std::atoi(env);
+  return n < 1 ? 1 : n;
+}
+
+/// Median of `values` (averages the middle pair on even sizes; 0 on empty).
+inline double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return (values[mid - 1] + values[mid]) / 2.0;
+}
+
+/// Collects named rows of median metrics and writes one BENCH_*.json.
+class BenchJson {
+ public:
+  /// `name` is the figure tag ("fig6"); scales echo print_scale_banner.
+  BenchJson(std::string name, double object_scale, double network_scale)
+      : name_(std::move(name)),
+        object_scale_(object_scale),
+        network_scale_(network_scale) {}
+
+  /// Appends one row; `metrics` values should already be medians.
+  void add_row(const std::string& row_name,
+               std::vector<std::pair<std::string, double>> metrics) {
+    rows_.push_back({row_name, std::move(metrics)});
+  }
+
+  /// Writes the payload to `path`; throws neat::Error when unwritable.
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw Error(str_cat("cannot open '", path, "' for writing"));
+    out << "{\"bench\":\"" << obs::json_escape(name_) << "\",\"git_sha\":\""
+        << obs::json_escape(NEAT_GIT_SHA) << "\",\"timestamp\":\"" << utc_timestamp()
+        << "\",\"repeats\":" << repeats() << ",\"object_scale\":" << object_scale_
+        << ",\"network_scale\":" << network_scale_ << ",\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) out << ',';
+      out << "{\"name\":\"" << obs::json_escape(rows_[r].name) << "\",\"metrics\":{";
+      for (std::size_t m = 0; m < rows_[r].metrics.size(); ++m) {
+        if (m > 0) out << ',';
+        out << '"' << obs::json_escape(rows_[r].metrics[m].first)
+            << "\":" << format_metric(rows_[r].metrics[m].second);
+      }
+      out << "}}";
+    }
+    out << "]}\n";
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static std::string utc_timestamp() {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+  }
+
+  /// Counters print as integers, durations with µs resolution.
+  static std::string format_metric(double v) {
+    if (v == static_cast<double>(static_cast<long long>(v))) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    return format_fixed(v, 6);
+  }
+
+  std::string name_;
+  double object_scale_;
+  double network_scale_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace neat::bench

@@ -9,19 +9,24 @@
 //                [--wq X --wk Y --wv Z] [--beta B] [--no-elb]
 //                [--landmarks N] [--threads N] [--refine-threads N]
 //                [--metrics-out metrics.prom] [--trace-out trace.json]
-//                [--out prefix]
+//                [--admin-port PORT] [--out prefix]
 //
 // --metrics-out dumps the run's metric registry as Prometheus text
 // exposition; --trace-out enables the pipeline tracer and writes a Chrome
 // trace_event JSON loadable in chrome://tracing or https://ui.perfetto.dev
 // (nested spans for Phases 1-3 including one span per parallel-refiner
-// worker).
+// worker). --admin-port serves the same registry and tracer live on
+// 127.0.0.1:PORT (/metrics, /healthz, /readyz, /statusz, /tracez) for the
+// duration of the run — handy for watching a long clustering job from curl
+// or a Prometheus scraper; 0 picks a free port (printed on startup).
 //
 // Try it end to end (generates its own demo inputs when given --demo):
 //   $ ./neat_cli --demo
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +35,7 @@
 #include "common/string_util.h"
 #include "core/clusterer.h"
 #include "eval/report.h"
+#include "obs/http_exporter.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "roadnet/generators.h"
@@ -47,6 +53,7 @@ struct CliOptions {
   std::string out_prefix{"neat_out"};
   std::string metrics_out;  ///< Prometheus text exposition file ("" = off).
   std::string trace_out;    ///< Chrome trace JSON file ("" = tracing off).
+  int admin_port{-1};       ///< -1 = no admin server; 0 = ephemeral port.
   Config config;
   bool demo{false};
 };
@@ -59,6 +66,7 @@ struct CliOptions {
             << "                [--beta B|inf] [--no-elb] [--landmarks N]\n"
             << "                [--threads N] [--refine-threads N] [--out PREFIX]\n"
             << "                [--metrics-out FILE] [--trace-out FILE]\n"
+            << "                [--admin-port PORT]\n"
             << "       neat_cli --demo   (self-contained demonstration)\n";
   std::exit(2);
 }
@@ -116,6 +124,10 @@ CliOptions parse_args(int argc, char** argv) {
         opt.metrics_out = next_value(i);
       } else if (arg == "--trace-out") {
         opt.trace_out = next_value(i);
+      } else if (arg == "--admin-port") {
+        const std::int64_t p = parse_int(next_value(i));
+        if (p < 0 || p > 65535) usage("--admin-port must be in [0, 65535]");
+        opt.admin_port = static_cast<int>(p);
       } else if (arg == "--no-elb") {
         opt.config.refine.use_elb = false;
       } else if (arg == "--demo") {
@@ -160,7 +172,18 @@ void write_flows_csv(const roadnet::RoadNetwork& net, const Result& res,
 int main(int argc, char** argv) {
   try {
     CliOptions opt = parse_args(argc, argv);
-    if (!opt.trace_out.empty()) obs::Tracer::global().set_enabled(true);
+    if (!opt.trace_out.empty() || opt.admin_port >= 0) {
+      obs::Tracer::global().set_enabled(true);
+    }
+    std::unique_ptr<obs::HttpExporter> admin;
+    if (opt.admin_port >= 0) {
+      obs::HttpExporterOptions hopts;
+      hopts.port = static_cast<std::uint16_t>(opt.admin_port);
+      admin = std::make_unique<obs::HttpExporter>(obs::Registry::global(), hopts,
+                                                  &obs::Tracer::global());
+      std::cout << "admin: listening on http://127.0.0.1:" << admin->port()
+                << " (/metrics /healthz /readyz /statusz /tracez)\n";
+    }
 
     if (opt.demo) {
       // Self-contained demonstration: generate inputs, write them next to

@@ -12,17 +12,33 @@
 //                 publishes an immutable, versioned ClusterSnapshot
 //   clients    -> query the QueryEngine ("flows near me", "what runs on this
 //                 road", "busiest corridors") against the live snapshot
-//   operations -> scrape the built-in metrics as JSON
-// The final snapshot is also persisted with core/result_io, the durable
-// half of the serving story.
+//   operations -> scrape the live admin plane over HTTP: /metrics (Prometheus),
+//                 /healthz, /readyz (503 until the first snapshot), /statusz
+//                 (build + snapshot + backlog JSON) and /tracez (recent spans)
+// Every upload and query carries a request-correlation trace_id, so one
+// /tracez (or Perfetto) search follows one request end-to-end. The final
+// snapshot is also persisted with core/result_io, the durable half of the
+// serving story.
 //
-//   $ ./neat_server_sim
+//   $ ./neat_server_sim --admin-port 9464 --sample-period-ms 500 --linger-s 60
+//   $ curl localhost:9464/metrics
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
 
+#include "common/error.h"
+#include "common/string_util.h"
 #include "core/result_io.h"
 #include "eval/geojson.h"
+#include "obs/http_exporter.h"
+#include "obs/registry.h"
+#include "obs/resource_sampler.h"
+#include "obs/trace.h"
 #include "roadnet/generators.h"
 #include "serve/ingest_service.h"
 #include "serve/query_engine.h"
@@ -30,7 +46,64 @@
 
 using namespace neat;
 
-int main() {
+namespace {
+
+struct SimOptions {
+  int admin_port{-1};        ///< -1 = no admin server; 0 = ephemeral port.
+  int sample_period_ms{1000};
+  int linger_s{0};           ///< Keep serving this long after the workload.
+};
+
+[[noreturn]] void usage(const std::string& error) {
+  std::cerr << "error: " << error << "\n\n"
+            << "usage: neat_server_sim [--admin-port PORT] [--sample-period-ms MS]\n"
+            << "                       [--linger-s SECONDS]\n"
+            << "  --admin-port PORT       serve /metrics, /healthz, /readyz, /statusz\n"
+            << "                          and /tracez on 127.0.0.1:PORT (0 = pick a\n"
+            << "                          free port; omit for no admin server)\n"
+            << "  --sample-period-ms MS   resource sampler period (default 1000)\n"
+            << "  --linger-s SECONDS      keep the server up after the simulated\n"
+            << "                          workload so it can be scraped (default 0)\n";
+  std::exit(2);
+}
+
+SimOptions parse_args(int argc, char** argv) {
+  SimOptions opt;
+  const auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(str_cat("missing value after ", argv[i]));
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--admin-port") {
+        const std::int64_t p = parse_int(next_value(i));
+        if (p < 0 || p > 65535) usage("--admin-port must be in [0, 65535]");
+        opt.admin_port = static_cast<int>(p);
+      } else if (arg == "--sample-period-ms") {
+        const std::int64_t ms = parse_int(next_value(i));
+        if (ms < 10) usage("--sample-period-ms must be >= 10");
+        opt.sample_period_ms = static_cast<int>(ms);
+      } else if (arg == "--linger-s") {
+        const std::int64_t s = parse_int(next_value(i));
+        if (s < 0) usage("--linger-s must be >= 0");
+        opt.linger_s = static_cast<int>(s);
+      } else {
+        usage(str_cat("unknown argument '", arg, "'"));
+      }
+    } catch (const ParseError& e) {
+      usage(e.what());
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SimOptions opt = parse_args(argc, argv);
+  obs::Tracer::global().set_enabled(true);
+
   // The shared map every tier works against.
   roadnet::CityParams params;
   params.rows = 26;
@@ -41,24 +114,54 @@ int main() {
   std::cout << "map: " << net.segment_count() << " segments\n";
 
   // --- the serving stack: snapshot store + metrics + ingest + query engine.
+  // The serve metrics share the global registry with the pipeline's own
+  // neat_core_* metrics, so one /metrics scrape sees the whole process.
   Config cfg;
   cfg.refine.epsilon = 2000.0;
   cfg.phase1_threads = 2;
   serve::SnapshotStore store;
-  serve::Metrics metrics;
-  serve::IngestOptions opts;
-  opts.queue_capacity = 4;
-  serve::IngestService ingest(net, cfg, store, metrics, opts);
+  serve::Metrics metrics(&obs::Registry::global());
+  serve::IngestOptions iopts;
+  iopts.queue_capacity = 4;
+  serve::IngestService ingest(net, cfg, store, metrics, iopts);
   const serve::QueryEngine engine(net, store, &metrics);
+
+  // --- the live observability plane: resource sampler + HTTP admin server.
+  obs::ResourceSamplerOptions sopts;
+  sopts.period = std::chrono::milliseconds(opt.sample_period_ms);
+  obs::ResourceSampler sampler(obs::Registry::global(), sopts);
+  std::unique_ptr<obs::HttpExporter> admin;
+  if (opt.admin_port >= 0) {
+    obs::HttpExporterOptions hopts;
+    hopts.port = static_cast<std::uint16_t>(opt.admin_port);
+    hopts.ready = [&metrics] { return metrics.snapshot_version() > 0; };
+    hopts.status_fields = [&metrics, &ingest] {
+      return str_cat("\"snapshot_version\":", metrics.snapshot_version(),
+                     ",\"snapshot_age_s\":", format_fixed(metrics.snapshot_age_seconds(), 3),
+                     ",\"ingest_queue_depth\":", ingest.queue_depth());
+    };
+    try {
+      admin = std::make_unique<obs::HttpExporter>(obs::Registry::global(), hopts,
+                                                  &obs::Tracer::global());
+    } catch (const Error& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+    // The machine-readable line smoke tests grep for the bound port.
+    std::cout << "admin: listening on http://127.0.0.1:" << admin->port()
+              << " (/metrics /healthz /readyz /statusz /tracez)\n";
+  }
 
   // --- tier 1: clients record trips and upload them in batches. Each batch
   // is clustered incrementally by the background worker; a new snapshot
-  // version appears after each one without ever blocking queries.
+  // version appears after each one without ever blocking queries. Every
+  // upload travels under a fresh trace_id.
   const sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
   const sim::MobilitySimulator simulator(net, sim_cfg);
   constexpr std::size_t kBatches = 3;
   constexpr std::size_t kTripsPerBatch = 100;
   std::int64_t next_id = 0;
+  std::uint64_t last_upload_trace = 0;
   for (std::size_t b = 0; b < kBatches; ++b) {
     const traj::TrajectoryDataset raw =
         simulator.generate(kTripsPerBatch, 77 + static_cast<std::uint64_t>(b));
@@ -66,9 +169,9 @@ int main() {
     for (std::size_t i = 0; i < raw.size(); ++i) {
       batch.add(traj::Trajectory(TrajectoryId(next_id++), raw[i].points()));
     }
-    ingest.submit(std::move(batch));
+    ingest.submit(std::move(batch), 0, &last_upload_trace);
     std::cout << "client upload: batch " << b + 1 << " (" << kTripsPerBatch
-              << " trips) queued\n";
+              << " trips) queued, trace_id=" << last_upload_trace << '\n';
   }
   ingest.flush();
   const auto snap = engine.snapshot();
@@ -76,30 +179,33 @@ int main() {
             << snap->flows().size() << " flows, " << snap->final_clusters().size()
             << " clusters\n";
 
-  // --- tier 3: client queries against the live snapshot.
+  // --- tier 3: client queries against the live snapshot. The first query
+  // reuses the last upload's trace_id: its ingest span and query span now
+  // carry the same correlation id, the end-to-end story /tracez tells.
   const roadnet::Bounds bb = net.bounding_box();
   const Point client{(bb.min.x + bb.max.x) / 2, (bb.min.y + bb.max.y) / 2};
-  if (const auto hit = engine.nearest_flow(client, 1500.0)) {
-    std::cout << "client at city center: nearest flow #" << hit->flow << " ("
-              << hit->cardinality << " trips) passes " << hit->distance_m
-              << " m away on segment " << hit->segment << '\n';
+  if (const auto hit = engine.nearest_flow(client, 1500.0, last_upload_trace)) {
+    std::cout << "client at city center [trace_id=" << hit->trace_id
+              << "]: nearest flow #" << hit->flow << " (" << hit->cardinality
+              << " trips) passes " << hit->distance_m << " m away on segment "
+              << hit->segment << '\n';
     const serve::SegmentFlows on_seg = engine.flows_on_segment(hit->segment);
-    std::cout << "that road carries " << on_seg.flows.size() << " flow(s)\n";
+    std::cout << "that road carries " << on_seg.flows.size()
+              << " flow(s) [trace_id=" << on_seg.trace_id << "]\n";
   } else {
     std::cout << "client at city center: no flow within 1500 m\n";
   }
   const serve::TopFlows top = engine.top_k_flows(5);
-  std::cout << "busiest corridors (top " << top.flows.size() << "):\n";
+  std::cout << "busiest corridors (top " << top.flows.size()
+            << ", trace_id=" << top.trace_id << "):\n";
   for (const serve::RankedFlow& f : top.flows) {
     std::cout << "  flow #" << f.flow << ": " << f.cardinality << " trips over "
               << f.route_length_m << " m (cluster " << f.final_cluster << ")\n";
   }
 
-  // --- operations: scrape the built-in metrics, both as the legacy JSON
-  // blob and as the Prometheus text exposition a real scraper would pull.
+  // --- operations: the legacy in-process JSON scrape still works; the live
+  // endpoints (when --admin-port is set) serve the same registry over HTTP.
   std::cout << "metrics: " << metrics.to_json() << '\n';
-  std::cout << "--- prometheus exposition ---\n"
-            << metrics.registry().to_prometheus() << "-----------------------------\n";
 
   // --- durability: persist the served snapshot and a GeoJSON payload any
   // map client could render.
@@ -111,5 +217,10 @@ int main() {
   std::ofstream("server_out/flows.geojson") << geojson;
   std::cout << "server_out/snapshot.csv and flows.geojson written ("
             << geojson.size() << " bytes of GeoJSON)\n";
+
+  if (admin != nullptr && opt.linger_s > 0) {
+    std::cout << "lingering " << opt.linger_s << "s for scrapes...\n" << std::flush;
+    std::this_thread::sleep_for(std::chrono::seconds(opt.linger_s));
+  }
   return 0;
 }

@@ -1,0 +1,131 @@
+// Embedded HTTP admin server — the pull half of the observability layer.
+//
+// A tiny dependency-free HTTP/1.1 server (POSIX sockets, blocking accept
+// loop on a background thread, a small bounded worker pool) that turns the
+// in-process registry + tracer into a live scrape plane:
+//
+//   GET /metrics   Prometheus text exposition of the backing Registry
+//   GET /healthz   liveness: 200 as long as the process serves requests
+//   GET /readyz    readiness: 200 when the ready() callback says so,
+//                  503 Service Unavailable otherwise (e.g. no snapshot yet)
+//   GET /statusz   JSON: build info, uptime, pid, plus app-supplied fields
+//                  (snapshot version/age, ingest queue depth, ...)
+//   GET /tracez    most recent N finished spans of the tracer as JSON
+//
+// Unknown paths answer 404, malformed requests 400, non-GET/HEAD methods
+// 405. Every response carries Content-Length and `Connection: close` and
+// the socket is closed after the write, so plain `curl` always terminates.
+//
+// Overload behaviour: accepted connections wait in a bounded queue; when it
+// is full the connection is closed immediately (load shedding, counted in
+// `neat_obs_http_connections_dropped_total`). Workers use short socket
+// timeouts so a stalled client can never wedge shutdown. stop() (also run
+// by the destructor) closes the listen socket, wakes the pool and joins
+// every thread — after it returns the port is free again.
+//
+// The server records its own traffic into the backing registry as
+// `neat_obs_http_requests_total{path=...,code=...}`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace neat::obs {
+
+/// Tuning of the admin server.
+struct HttpExporterOptions {
+  /// IPv4 address to bind; "0.0.0.0" exposes the plane beyond localhost.
+  std::string bind_address{"127.0.0.1"};
+  /// TCP port; 0 picks an ephemeral port, queried back via port().
+  std::uint16_t port{0};
+  /// Worker threads answering requests (>= 1).
+  std::size_t worker_threads{2};
+  /// Accepted connections allowed to wait for a worker before shedding.
+  std::size_t max_pending_connections{16};
+  /// Span count cap of the /tracez payload.
+  std::size_t tracez_spans{256};
+  /// Readiness probe backing /readyz; null = always ready.
+  std::function<bool()> ready;
+  /// Extra top-level `"key":value` JSON fields (comma-joined, no braces)
+  /// merged into /statusz; null = none.
+  std::function<std::string()> status_fields;
+};
+
+/// Live HTTP admin plane over a Registry (and optionally a Tracer).
+/// Construction binds + listens and starts the threads (throws neat::Error
+/// when the address is unavailable); all endpoints are served until stop().
+class HttpExporter {
+ public:
+  /// Keeps references to `registry` (and `tracer` when given); do not
+  /// outlive them. Callbacks in `options` are invoked from worker threads
+  /// and must be thread-safe.
+  explicit HttpExporter(Registry& registry, HttpExporterOptions options = {},
+                        Tracer* tracer = nullptr);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Stops accepting, wakes and joins every thread, closes all sockets.
+  /// Idempotent; after it returns the bound port is released.
+  void stop();
+
+  /// The actually bound TCP port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Requests answered so far (any status code).
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+  /// Dispatches one already-parsed request line to the endpoint table and
+  /// returns the full HTTP response bytes. Exposed for tests; `serve()`
+  /// paths go through exactly this.
+  [[nodiscard]] std::string handle(const std::string& method,
+                                   const std::string& path) const;
+
+ private:
+  struct Response {
+    int code{200};
+    std::string content_type{"text/plain; charset=utf-8"};
+    std::string body;
+  };
+
+  [[nodiscard]] Response dispatch(const std::string& path) const;
+  [[nodiscard]] std::string status_json() const;
+  [[nodiscard]] static std::string render(const Response& r, bool include_body);
+  void count_request(const std::string& path, int code) const;
+
+  void accept_loop();
+  void worker_loop();
+  void serve_connection(int fd) const;
+
+  Registry& registry_;
+  Tracer* tracer_;
+  HttpExporterOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<int> listen_fd_{-1};  ///< Written by stop() while the acceptor reads it.
+  std::uint16_t port_{0};
+  std::atomic<bool> stopping_{false};
+  mutable std::atomic<std::uint64_t> served_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< Accepted fds waiting for a worker.
+
+  std::vector<std::thread> workers_;
+  std::thread acceptor_;  ///< Last member: started after all state.
+};
+
+}  // namespace neat::obs

@@ -157,6 +157,13 @@ Registry::Series& Registry::series(std::string_view name, Labels labels, Kind ki
     family = families_.back().get();
     family->name = std::string(name);
     family->kind = kind;
+    for (auto it = pending_help_.begin(); it != pending_help_.end(); ++it) {
+      if (it->first == family->name) {
+        family->help = std::move(it->second);
+        pending_help_.erase(it);
+        break;
+      }
+    }
   }
   NEAT_EXPECT(family->kind == kind,
               str_cat("Registry: metric family '", family->name,
@@ -187,6 +194,23 @@ const Registry::Series* Registry::find(std::string_view name, const Labels& labe
   return nullptr;
 }
 
+void Registry::set_help(std::string_view name, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& f : families_) {
+    if (f->name == name) {
+      f->help = std::string(help);
+      return;
+    }
+  }
+  for (auto& [pending_name, pending_text] : pending_help_) {
+    if (pending_name == name) {
+      pending_text = std::string(help);
+      return;
+    }
+  }
+  pending_help_.emplace_back(std::string(name), std::string(help));
+}
+
 Counter& Registry::counter(std::string_view name, Labels labels) {
   return *series(name, std::move(labels), Kind::kCounter).counter;
 }
@@ -213,6 +237,22 @@ std::string Registry::to_prometheus() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& f : families_) {
+    out += "# HELP ";
+    out += f->name;
+    out += ' ';
+    if (f->help.empty()) {
+      out += "NEAT metric ";
+      out += f->name;
+      out += '.';
+    } else {
+      // Prometheus HELP escaping: backslash and newline only.
+      for (const char c : f->help) {
+        if (c == '\\') out += "\\\\";
+        else if (c == '\n') out += "\\n";
+        else out += c;
+      }
+    }
+    out += '\n';
     out += "# TYPE ";
     out += f->name;
     switch (f->kind) {

@@ -120,6 +120,13 @@ class Registry {
   Gauge& gauge(std::string_view name, Labels labels = {});
   Log2Histogram& histogram(std::string_view name, Labels labels = {});
 
+  /// Registers the `# HELP` text of family `name` (single line; embedded
+  /// newlines are escaped on export). Families without registered help
+  /// export a generated "NEAT metric <name>." line, so every family always
+  /// carries both HELP and TYPE. May be called before or after the family
+  /// is created.
+  void set_help(std::string_view name, std::string_view help);
+
   /// Current value of a counter series, 0 when it does not exist (does not
   /// create it). For tests and bench delta snapshots.
   [[nodiscard]] std::uint64_t counter_value(std::string_view name,
@@ -130,8 +137,9 @@ class Registry {
                                              const Labels& labels = {}) const;
 
   /// Prometheus text exposition (version 0.0.4) of every series, families
-  /// in creation order. Histograms export cumulative `_bucket{le=...}`
-  /// lines plus `_sum` and `_count`.
+  /// in creation order, each preceded by `# HELP` and `# TYPE` lines.
+  /// Histograms export cumulative `_bucket{le=...}` lines plus `_sum` and
+  /// `_count`.
   [[nodiscard]] std::string to_prometheus() const;
 
  private:
@@ -148,6 +156,7 @@ class Registry {
   struct Family {
     std::string name;
     Kind kind;
+    std::string help;  // empty = export the generated default
     std::vector<std::unique_ptr<Series>> series;  // creation order
   };
 
@@ -156,6 +165,8 @@ class Registry {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Family>> families_;  // creation order
+  /// Help registered before its family exists, applied at creation.
+  std::vector<std::pair<std::string, std::string>> pending_help_;
 };
 
 }  // namespace neat::obs

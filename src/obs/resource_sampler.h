@@ -1,0 +1,80 @@
+// Background process-resource sampler feeding the metric registry.
+//
+// A single thread wakes every `period` and snapshots the process's own
+// footprint from /proc/self into registry gauges, so a scrape of /metrics
+// answers "how big is this server right now" without any external agent:
+//
+//   neat_process_resident_memory_bytes   RSS (/proc/self/stat, pages × page size)
+//   neat_process_virtual_memory_bytes    virtual size
+//   neat_process_cpu_seconds{mode="user"|"system"}
+//                                        cumulative CPU, sampled (utime/stime)
+//   neat_process_threads                 thread count
+//   neat_process_open_fds                open descriptors (/proc/self/fd)
+//   neat_obs_resource_samples_total      samples taken so far
+//
+// One synchronous sample runs in the constructor, so the gauges are already
+// populated for a scrape that races the first period. On non-Linux
+// platforms sample_now() returns false and the gauges stay at zero; the
+// thread and the API still behave identically.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "obs/registry.h"
+
+namespace neat::obs {
+
+/// Tuning of the resource sampler.
+struct ResourceSamplerOptions {
+  /// Delay between samples; clamped to at least 10ms.
+  std::chrono::milliseconds period{1000};
+};
+
+/// Samples /proc/self into gauges of `registry` until stop().
+class ResourceSampler {
+ public:
+  /// Keeps a reference to `registry`; do not outlive it. Takes one sample
+  /// synchronously, then starts the background thread.
+  explicit ResourceSampler(Registry& registry, ResourceSamplerOptions options = {});
+  ~ResourceSampler();
+
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+  /// Stops and joins the background thread. Idempotent.
+  void stop();
+
+  /// Takes one sample immediately (also what the thread calls). Returns
+  /// false when /proc/self is unavailable (non-Linux).
+  bool sample_now();
+
+  /// Samples taken so far (including the constructor's).
+  [[nodiscard]] std::uint64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void loop();
+
+  Registry& registry_;
+  ResourceSamplerOptions options_;
+  Gauge& rss_bytes_;
+  Gauge& virtual_bytes_;
+  Gauge& cpu_user_s_;
+  Gauge& cpu_system_s_;
+  Gauge& threads_;
+  Gauge& open_fds_;
+  Counter& samples_total_;
+  std::atomic<std::uint64_t> samples_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_{false};        ///< Guarded by mu_.
+  std::thread thread_;      ///< Last member: started after all state.
+};
+
+}  // namespace neat::obs

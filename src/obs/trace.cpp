@@ -6,6 +6,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/registry.h"
+
 namespace neat::obs {
 
 namespace {
@@ -38,7 +40,19 @@ std::uint64_t next_tracer_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// The process-wide drop counter; created lazily so registries stay empty
+// until the first span is actually overwritten.
+Counter& spans_dropped_counter() {
+  static Counter& c = Registry::global().counter("neat_obs_spans_dropped_total");
+  return c;
+}
+
 }  // namespace
+
+std::uint64_t next_trace_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -123,8 +137,25 @@ void Tracer::clear() {
   for (const auto& log : logs) {
     const std::lock_guard<std::mutex> lock(log->mu);
     log->events.clear();
+    log->head = 0;
     log->name.clear();
   }
+}
+
+void Tracer::record(SpanEvent event) {
+  const std::size_t cap = max_spans_.load(std::memory_order_relaxed);
+  ThreadLog& log = local_log();
+  const std::lock_guard<std::mutex> lock(log.mu);
+  if (log.events.size() < cap) {
+    log.events.push_back(std::move(event));
+    return;
+  }
+  // Ring full: recycle the oldest slot (modulo the actual size, which may
+  // exceed a capacity that was lowered after the log grew).
+  log.events[log.head] = std::move(event);
+  log.head = (log.head + 1) % log.events.size();
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  spans_dropped_counter().add(1);
 }
 
 std::string Tracer::to_chrome_json() const {
@@ -169,6 +200,64 @@ std::string Tracer::to_chrome_json() const {
   return out;
 }
 
+std::string Tracer::to_tracez_json(std::size_t max_spans) const {
+  struct Row {
+    std::uint32_t tid;
+    std::string thread;
+    SpanEvent event;
+  };
+  std::vector<Row> rows;
+  {
+    std::vector<std::shared_ptr<ThreadLog>> logs;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      logs = logs_;
+    }
+    for (const auto& log : logs) {
+      const std::lock_guard<std::mutex> lock(log->mu);
+      for (const SpanEvent& e : log->events) rows.push_back({log->tid, log->name, e});
+    }
+  }
+  // Most recently finished first.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.event.ts_us + a.event.dur_us > b.event.ts_us + b.event.dur_us;
+  });
+  const std::size_t total = rows.size();
+  if (rows.size() > max_spans) rows.resize(max_spans);
+
+  std::string out = "{\"spans\":[";
+  bool first = true;
+  for (const Row& r : rows) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json_escape(r.event.name);
+    out += "\",\"tid\":";
+    out += std::to_string(r.tid);
+    if (!r.thread.empty()) {
+      out += ",\"thread\":\"";
+      out += json_escape(r.thread);
+      out += '"';
+    }
+    out += ",\"ts_us\":";
+    out += format_json_double(r.event.ts_us);
+    out += ",\"dur_us\":";
+    out += format_json_double(r.event.dur_us);
+    if (!r.event.args_json.empty()) {
+      out += ",\"args\":{";
+      out += r.event.args_json;
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "],\"span_count\":";
+  out += std::to_string(total);
+  out += ",\"spans_dropped\":";
+  out += std::to_string(spans_dropped());
+  out += '}';
+  return out;
+}
+
 ScopedSpan::ScopedSpan(const char* name, Tracer& tracer) : name_(name) {
   if (!tracer.enabled()) return;
   tracer_ = &tracer;
@@ -178,10 +267,7 @@ ScopedSpan::ScopedSpan(const char* name, Tracer& tracer) : name_(name) {
 ScopedSpan::~ScopedSpan() {
   if (tracer_ == nullptr) return;
   const double end_us = Tracer::now_us();
-  Tracer::ThreadLog& log = tracer_->local_log();
-  const std::lock_guard<std::mutex> lock(log.mu);
-  log.events.push_back(
-      {name_, start_us_, std::max(0.0, end_us - start_us_), std::move(args_)});
+  tracer_->record({name_, start_us_, std::max(0.0, end_us - start_us_), std::move(args_)});
 }
 
 void ScopedSpan::arg_raw(const char* key, std::string value_json) {

@@ -15,8 +15,16 @@
 // practical purposes. When enabled, each span is two steady_clock reads
 // plus one vector push.
 //
+// Memory model: each thread log is a bounded ring buffer
+// (max_spans_per_thread(), default 64k spans) that overwrites its oldest
+// span once full, so a long-lived server with tracing enabled holds the
+// most recent spans at a fixed memory ceiling instead of growing without
+// bound. Every overwrite bumps spans_dropped() and the process-wide
+// `neat_obs_spans_dropped_total` registry counter.
+//
 // Export is Chrome trace_event JSON (the `{"traceEvents": [...]}` object
-// form) loadable in chrome://tracing and https://ui.perfetto.dev.
+// form) loadable in chrome://tracing and https://ui.perfetto.dev, or the
+// admin server's /tracez JSON (most recently finished spans first).
 #pragma once
 
 #include <atomic>
@@ -51,8 +59,25 @@ class Tracer {
   /// No-op when disabled.
   void set_thread_name(const std::string& name);
 
-  /// Total spans recorded so far, across all threads.
+  /// Total spans currently held, across all threads (bounded by
+  /// thread count × max_spans_per_thread()).
   [[nodiscard]] std::size_t span_count() const;
+
+  /// Ring-buffer capacity of each per-thread span log. Lowering it does not
+  /// shrink logs that already grew larger; they stop growing and recycle in
+  /// place. Capacity 0 is clamped to 1.
+  void set_max_spans_per_thread(std::size_t cap) {
+    max_spans_.store(cap == 0 ? 1 : cap, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t max_spans_per_thread() const {
+    return max_spans_.load(std::memory_order_relaxed);
+  }
+
+  /// Spans overwritten because a thread log was full (cumulative; clear()
+  /// does not reset it).
+  [[nodiscard]] std::uint64_t spans_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// Discards every recorded span (thread logs stay registered).
   void clear();
@@ -60,6 +85,12 @@ class Tracer {
   /// Chrome trace_event JSON: complete ("ph":"X") events with ts/dur in µs
   /// plus thread_name metadata, wrapped as {"traceEvents": [...]}.
   [[nodiscard]] std::string to_chrome_json() const;
+
+  /// The admin server's /tracez payload: the most recently finished
+  /// `max_spans` spans across all threads (newest first) as
+  /// {"spans":[{"name","thread","tid","ts_us","dur_us","args"}...],
+  ///  "span_count":N,"spans_dropped":M}.
+  [[nodiscard]] std::string to_tracez_json(std::size_t max_spans) const;
 
   /// Microseconds on the tracer's steady clock (process-start epoch).
   [[nodiscard]] static double now_us();
@@ -77,7 +108,10 @@ class Tracer {
     std::mutex mu;
     std::uint32_t tid{0};
     std::string name;
+    // Ring buffer: grows until max_spans_per_thread(), then `head` walks the
+    // oldest slot and new spans overwrite it.
     std::vector<SpanEvent> events;
+    std::size_t head{0};
   };
 
  private:
@@ -86,12 +120,24 @@ class Tracer {
   /// The calling thread's log for this tracer, registered on first use.
   ThreadLog& local_log();
 
+  /// Appends `event` to the calling thread's log, recycling the oldest slot
+  /// when the ring is full.
+  void record(SpanEvent event);
+
   std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> max_spans_{65536};
+  std::atomic<std::uint64_t> dropped_{0};
   const std::uint64_t id_;  // distinguishes tracers in the thread-local cache
   mutable std::mutex mu_;
   std::vector<std::shared_ptr<ThreadLog>> logs_;
   std::atomic<std::uint32_t> next_tid_{1};
 };
+
+/// A process-unique request-correlation id (monotonic, never 0). Mint one
+/// per client request / ingest batch, attach it to every span the request
+/// touches (`span.arg("trace_id", id)`) and echo it in the response, so one
+/// Perfetto / /tracez search follows one request end-to-end.
+[[nodiscard]] std::uint64_t next_trace_id();
 
 /// RAII span: records [construction, destruction) on the calling thread of
 /// `tracer`. Near-zero cost when the tracer is disabled. Spans must be

@@ -21,13 +21,16 @@ IngestService::IngestService(const roadnet::RoadNetwork& net, Config config,
 
 IngestService::~IngestService() { stop(); }
 
-bool IngestService::submit(traj::TrajectoryDataset batch) {
+bool IngestService::submit(traj::TrajectoryDataset batch, std::uint64_t trace_id,
+                           std::uint64_t* trace_id_out) {
+  if (trace_id == 0) trace_id = obs::next_trace_id();
+  if (trace_id_out != nullptr) *trace_id_out = trace_id;
   if (stopped_.load(std::memory_order_acquire)) return false;
   const bool block = options_.backpressure == IngestOptions::Backpressure::kBlock;
   // Count the acceptance before the push lands so flush() can never observe
   // processed_ caught up while this batch is still invisible to it.
   accepted_.fetch_add(1, std::memory_order_acq_rel);
-  const PushResult r = queue_.push(std::move(batch), block);
+  const PushResult r = queue_.push(PendingBatch{trace_id, std::move(batch)}, block);
   if (r == PushResult::kAccepted) return true;
   accepted_.fetch_sub(1, std::memory_order_acq_rel);
   {
@@ -58,18 +61,19 @@ void IngestService::stop() {
 
 void IngestService::run() {
   obs::Tracer::global().set_thread_name("serve-ingest");
-  while (auto batch = queue_.pop()) {
-    process_batch(std::move(*batch));
+  while (auto pending = queue_.pop()) {
+    process_batch(std::move(*pending));
   }
 }
 
-void IngestService::process_batch(traj::TrajectoryDataset batch) {
+void IngestService::process_batch(PendingBatch pending) {
   obs::ScopedSpan span("serve.ingest_batch");
+  span.arg("trace_id", pending.trace_id);
   const Stopwatch watch;
-  const std::size_t n_trajectories = batch.size();
+  const std::size_t n_trajectories = pending.batch.size();
   span.arg("trajectories", static_cast<std::uint64_t>(n_trajectories));
   try {
-    clusterer_.add_batch(batch);
+    clusterer_.add_batch(pending.batch);
     auto [flows, clusters] = clusterer_.snapshot_state();
     const std::uint64_t version = published_.load(std::memory_order_relaxed) + 1;
     store_.publish(

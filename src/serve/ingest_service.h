@@ -58,7 +58,13 @@ class IngestService {
   /// rejected by backpressure or the service is stopped. Trajectory ids must
   /// be unique across all accepted batches (violations surface as a failed
   /// batch in the metrics, not an exception here — submission is async).
-  bool submit(traj::TrajectoryDataset batch);
+  ///
+  /// `trace_id` correlates the batch's ingest span with the client request
+  /// that produced it (0 mints a fresh obs::next_trace_id()); the id used is
+  /// written to `*trace_id_out` when non-null, even on rejection, so callers
+  /// can log/echo it.
+  bool submit(traj::TrajectoryDataset batch, std::uint64_t trace_id = 0,
+              std::uint64_t* trace_id_out = nullptr);
 
   /// Blocks until every batch accepted so far has been processed (published
   /// or counted failed).
@@ -78,16 +84,26 @@ class IngestService {
     return accepted_.load(std::memory_order_relaxed);
   }
 
+  /// Batches currently waiting in the queue (accepted, not yet picked up by
+  /// the worker). Exported on /statusz as the ingest backlog.
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
  private:
+  /// A batch tagged with the request-correlation id it travels under.
+  struct PendingBatch {
+    std::uint64_t trace_id{0};
+    traj::TrajectoryDataset batch;
+  };
+
   void run();
-  void process_batch(traj::TrajectoryDataset batch);
+  void process_batch(PendingBatch pending);
 
   const roadnet::RoadNetwork& net_;
   SnapshotStore& store_;
   Metrics& metrics_;
   IngestOptions options_;
   IncrementalClusterer clusterer_;  ///< Touched only by the worker thread.
-  BoundedQueue<traj::TrajectoryDataset> queue_;
+  BoundedQueue<PendingBatch> queue_;
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> published_{0};

@@ -38,7 +38,23 @@ Metrics::Metrics(obs::Registry* registry)
           reg_->counter("neat_serve_ingest_batches_total", {{"result", "failed"}})),
       trajectories_ingested_(reg_->counter("neat_serve_ingested_trajectories_total")),
       snapshot_version_(reg_->gauge("neat_serve_snapshot_version")),
-      last_publish_gauge_(reg_->gauge("neat_serve_last_publish_timestamp_seconds")) {}
+      last_publish_gauge_(reg_->gauge("neat_serve_last_publish_timestamp_seconds")) {
+  reg_->set_help("neat_serve_query_duration_seconds",
+                 "Latency of flow-cluster queries (all kinds).");
+  reg_->set_help("neat_serve_ingest_duration_seconds",
+                 "Latency of ingest batches: clustering plus snapshot publish.");
+  reg_->set_help("neat_serve_queries_total", "Queries answered, by query kind.");
+  reg_->set_help("neat_serve_empty_snapshot_queries_total",
+                 "Queries answered before any snapshot was published.");
+  reg_->set_help("neat_serve_ingest_batches_total",
+                 "Ingest batches, by outcome (ok/rejected/failed).");
+  reg_->set_help("neat_serve_ingested_trajectories_total",
+                 "Trajectories accepted into published snapshots.");
+  reg_->set_help("neat_serve_snapshot_version",
+                 "Version of the currently served cluster snapshot (0 = none yet).");
+  reg_->set_help("neat_serve_last_publish_timestamp_seconds",
+                 "Steady-clock time of the latest snapshot publish, in seconds.");
+}
 
 void Metrics::record_query(QueryKind kind, double seconds) {
   switch (kind) {

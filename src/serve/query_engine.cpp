@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/stopwatch.h"
+#include "obs/trace.h"
 
 namespace neat::serve {
 
@@ -10,8 +11,11 @@ QueryEngine::QueryEngine(const roadnet::RoadNetwork& net, const SnapshotStore& s
                          Metrics* metrics)
     : net_(net), store_(store), metrics_(metrics), grid_(net) {}
 
-std::optional<NearestFlowHit> QueryEngine::nearest_flow(Point p,
-                                                        double max_radius) const {
+std::optional<NearestFlowHit> QueryEngine::nearest_flow(Point p, double max_radius,
+                                                        std::uint64_t trace_id) const {
+  if (trace_id == 0) trace_id = obs::next_trace_id();
+  obs::ScopedSpan span("serve.query.nearest_flow");
+  span.arg("trace_id", trace_id);
   const Stopwatch watch;
   const auto snap = store_.current();
   if (!snap) {
@@ -36,7 +40,8 @@ std::optional<NearestFlowHit> QueryEngine::nearest_flow(Point p,
     for (const std::uint32_t f : flows) {
       if (snap->flows()[f].cardinality() > snap->flows()[pick].cardinality()) pick = f;
     }
-    best = NearestFlowHit{snap->version(),
+    best = NearestFlowHit{trace_id,
+                          snap->version(),
                           pick,
                           sid,
                           dist,
@@ -49,9 +54,14 @@ std::optional<NearestFlowHit> QueryEngine::nearest_flow(Point p,
   return best;
 }
 
-SegmentFlows QueryEngine::flows_on_segment(SegmentId sid) const {
+SegmentFlows QueryEngine::flows_on_segment(SegmentId sid,
+                                           std::uint64_t trace_id) const {
+  if (trace_id == 0) trace_id = obs::next_trace_id();
+  obs::ScopedSpan span("serve.query.flows_on_segment");
+  span.arg("trace_id", trace_id);
   const Stopwatch watch;
   SegmentFlows out;
+  out.trace_id = trace_id;
   if (const auto snap = store_.current()) {
     out.snapshot_version = snap->version();
     const auto flows = snap->flows_on_segment(sid);
@@ -65,9 +75,13 @@ SegmentFlows QueryEngine::flows_on_segment(SegmentId sid) const {
   return out;
 }
 
-TopFlows QueryEngine::top_k_flows(std::size_t k) const {
+TopFlows QueryEngine::top_k_flows(std::size_t k, std::uint64_t trace_id) const {
+  if (trace_id == 0) trace_id = obs::next_trace_id();
+  obs::ScopedSpan span("serve.query.top_k_flows");
+  span.arg("trace_id", trace_id);
   const Stopwatch watch;
   TopFlows out;
+  out.trace_id = trace_id;
   if (const auto snap = store_.current()) {
     out.snapshot_version = snap->version();
     const auto ranked = snap->flows_by_density();

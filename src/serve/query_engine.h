@@ -24,6 +24,7 @@ namespace neat::serve {
 
 /// Answer to a point → nearest-flow lookup.
 struct NearestFlowHit {
+  std::uint64_t trace_id{0};     ///< Correlation id echoed from the request.
   std::uint64_t snapshot_version{0};
   std::uint32_t flow{0};         ///< Index into the answering snapshot's flows().
   SegmentId segment;             ///< Route segment that was nearest to the query.
@@ -34,6 +35,7 @@ struct NearestFlowHit {
 
 /// Answer to a segment → flows membership query.
 struct SegmentFlows {
+  std::uint64_t trace_id{0};         ///< Correlation id echoed from the request.
   std::uint64_t snapshot_version{0};
   std::vector<std::uint32_t> flows;  ///< Flow indices traversing the segment.
 };
@@ -48,6 +50,7 @@ struct RankedFlow {
 
 /// Answer to a top-k densest-flows query.
 struct TopFlows {
+  std::uint64_t trace_id{0};         ///< Correlation id echoed from the request.
   std::uint64_t snapshot_version{0};
   std::vector<RankedFlow> flows;  ///< Densest first; at most k entries.
 };
@@ -64,16 +67,22 @@ class QueryEngine {
   /// `max_radius` metres. Ties (flows sharing the nearest segment) resolve
   /// to the highest-cardinality flow, then the lowest index. nullopt when no
   /// flow routes within the radius or no snapshot is published yet.
-  [[nodiscard]] std::optional<NearestFlowHit> nearest_flow(Point p,
-                                                           double max_radius) const;
+  ///
+  /// Every query method takes an optional request-correlation `trace_id`
+  /// (obs::next_trace_id() is minted when 0): the id is attached to the
+  /// query's span as an arg and echoed in the answer, so one trace search
+  /// follows one request end-to-end across ingest and query spans.
+  [[nodiscard]] std::optional<NearestFlowHit> nearest_flow(
+      Point p, double max_radius, std::uint64_t trace_id = 0) const;
 
   /// All flows whose representative route traverses `sid` (ascending index
   /// order). Empty list when none or no snapshot yet.
-  [[nodiscard]] SegmentFlows flows_on_segment(SegmentId sid) const;
+  [[nodiscard]] SegmentFlows flows_on_segment(SegmentId sid,
+                                              std::uint64_t trace_id = 0) const;
 
   /// The `k` densest flows (trajectory cardinality desc). Fewer when the
   /// snapshot holds fewer flows; empty when no snapshot yet.
-  [[nodiscard]] TopFlows top_k_flows(std::size_t k) const;
+  [[nodiscard]] TopFlows top_k_flows(std::size_t k, std::uint64_t trace_id = 0) const;
 
   /// Pins and returns the current snapshot (nullptr before first publish).
   /// For callers needing multiple consistent reads from one version.

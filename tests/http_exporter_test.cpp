@@ -1,0 +1,217 @@
+// Tests for the embedded HTTP admin server (src/obs/http_exporter.*).
+//
+// Carries the `concurrency` ctest label: the interesting failure modes are
+// races between the acceptor/worker threads, concurrent scrapers, and
+// metric writers, so CI runs this binary under TSan.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/http_exporter.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace neat::obs {
+namespace {
+
+/// Minimal blocking HTTP client: sends `request` verbatim to 127.0.0.1:port
+/// and returns everything read until the server closes the connection.
+std::string raw_request(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return raw_request(port, "GET " + path + " HTTP/1.1\r\nHost: x\r\n\r\n");
+}
+
+int status_of(const std::string& response) {
+  // "HTTP/1.1 NNN ..."
+  if (response.size() < 12 || response.rfind("HTTP/1.1 ", 0) != 0) return -1;
+  return std::stoi(response.substr(9, 3));
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+TEST(HttpExporter, ServesMetricsHealthAndStatusOnEphemeralPort) {
+  Registry reg;
+  reg.counter("neat_test_http_total", {{"kind", "x"}}).add(3);
+  HttpExporter server(reg);
+  ASSERT_GT(server.port(), 0);  // port 0 resolved to a real ephemeral port
+
+  const std::string metrics = get(server.port(), "/metrics");
+  EXPECT_EQ(status_of(metrics), 200);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# HELP neat_test_http_total"), std::string::npos);
+  EXPECT_NE(metrics.find("neat_test_http_total{kind=\"x\"} 3"), std::string::npos);
+
+  // Content-Length must match the body exactly (curl depends on it).
+  const std::size_t cl_at = metrics.find("Content-Length: ");
+  ASSERT_NE(cl_at, std::string::npos);
+  const std::size_t cl = std::stoul(metrics.substr(cl_at + 16));
+  EXPECT_EQ(body_of(metrics).size(), cl);
+
+  EXPECT_EQ(status_of(get(server.port(), "/healthz")), 200);
+  const std::string status = get(server.port(), "/statusz");
+  EXPECT_EQ(status_of(status), 200);
+  EXPECT_NE(status.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(status.find("\"uptime_s\""), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 3u);
+}
+
+TEST(HttpExporter, ReadyzFlipsFrom503To200) {
+  Registry reg;
+  std::atomic<bool> ready{false};
+  HttpExporterOptions opts;
+  opts.ready = [&ready] { return ready.load(); };
+  HttpExporter server(reg, opts);
+
+  const std::string before = get(server.port(), "/readyz");
+  EXPECT_EQ(status_of(before), 503);
+  EXPECT_EQ(body_of(before), "not ready\n");
+
+  ready.store(true);
+  const std::string after = get(server.port(), "/readyz");
+  EXPECT_EQ(status_of(after), 200);
+  EXPECT_EQ(body_of(after), "ready\n");
+}
+
+TEST(HttpExporter, UnknownPathsAndMalformedRequestsGetErrorCodes) {
+  Registry reg;
+  HttpExporter server(reg);
+  EXPECT_EQ(status_of(get(server.port(), "/nope")), 404);
+  EXPECT_EQ(status_of(raw_request(server.port(), "garbage with no structure\r\n\r\n")), 400);
+  EXPECT_EQ(status_of(raw_request(server.port(), "POST /metrics HTTP/1.1\r\n\r\n")), 405);
+  // HEAD gets headers (with the true length) and no body.
+  const std::string head =
+      raw_request(server.port(), "HEAD /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(status_of(head), 200);
+  EXPECT_EQ(body_of(head), "");
+
+  // Error responses are counted under bounded labels, not per bad path.
+  EXPECT_GE(reg.counter_value("neat_obs_http_requests_total",
+                              {{"path", "other"}, {"code", "404"}}),
+            1u);
+}
+
+TEST(HttpExporter, TracezServesRecentSpansWithTraceIds) {
+  Registry reg;
+  Tracer tracer;
+  tracer.set_enabled(true);
+  std::uint64_t id = 0;
+  {
+    ScopedSpan span("test.request", tracer);
+    id = next_trace_id();
+    span.arg("trace_id", id);
+  }
+  HttpExporter server(reg, {}, &tracer);
+  const std::string tracez = get(server.port(), "/tracez");
+  EXPECT_EQ(status_of(tracez), 200);
+  EXPECT_NE(tracez.find("test.request"), std::string::npos);
+  EXPECT_NE(tracez.find("\"trace_id\":" + std::to_string(id)), std::string::npos);
+
+  // Without a tracer the endpoint does not exist.
+  Registry reg2;
+  HttpExporter no_tracer(reg2);
+  EXPECT_EQ(status_of(get(no_tracer.port(), "/tracez")), 404);
+}
+
+TEST(HttpExporter, ConcurrentScrapesWhileWritersRecord) {
+  Registry reg;
+  HttpExporterOptions opts;
+  opts.worker_threads = 3;
+  HttpExporter server(reg, opts);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&reg, &stop, w] {
+      Counter& c = reg.counter("neat_test_writes_total",
+                               {{"writer", std::to_string(w)}});
+      Log2Histogram& h = reg.histogram("neat_test_write_seconds");
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add(1);
+        h.record(1e-6);
+      }
+    });
+  }
+  std::atomic<int> ok{0};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 4; ++s) {
+    scrapers.emplace_back([&server, &ok] {
+      for (int i = 0; i < 25; ++i) {
+        if (status_of(get(server.port(), "/metrics")) == 200) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : scrapers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(ok.load(), 4 * 25);  // every concurrent scrape succeeded
+}
+
+TEST(HttpExporter, StopReleasesThePortForImmediateRebind) {
+  Registry reg;
+  std::uint16_t port = 0;
+  {
+    HttpExporter server(reg);
+    port = server.port();
+    EXPECT_EQ(status_of(get(port, "/healthz")), 200);
+    server.stop();  // explicit stop; the destructor repeat is a no-op
+  }
+  // The exact port is free again: binding it succeeds right away.
+  HttpExporterOptions opts;
+  opts.port = port;
+  HttpExporter rebound(reg, opts);
+  EXPECT_EQ(rebound.port(), port);
+  EXPECT_EQ(status_of(get(port, "/healthz")), 200);
+}
+
+TEST(HttpExporter, InvalidBindAddressThrows) {
+  Registry reg;
+  HttpExporterOptions opts;
+  opts.bind_address = "not-an-address";
+  EXPECT_THROW(HttpExporter(reg, opts), Error);
+}
+
+}  // namespace
+}  // namespace neat::obs

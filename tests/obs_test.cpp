@@ -210,13 +210,20 @@ TEST(Prometheus, GoldenExposition) {
   h.record(2e-6);
   h.record(2e-6);
   h.record(100e-6);
+  reg.set_help("neat_test_requests_total", "Requests, by kind.");
+  reg.set_help("neat_test_version", "Deployed version.");
+  // neat_test_latency_seconds deliberately gets no help: the exporter must
+  // synthesize one (Prometheus requires a HELP line per family).
 
   const std::string expected =
+      "# HELP neat_test_requests_total Requests, by kind.\n"
       "# TYPE neat_test_requests_total counter\n"
       "neat_test_requests_total{kind=\"a\"} 3\n"
       "neat_test_requests_total{kind=\"b\"} 1\n"
+      "# HELP neat_test_version Deployed version.\n"
       "# TYPE neat_test_version gauge\n"
       "neat_test_version 7\n"
+      "# HELP neat_test_latency_seconds NEAT metric neat_test_latency_seconds.\n"
       "# TYPE neat_test_latency_seconds histogram\n"
       "neat_test_latency_seconds_bucket{le=\"1e-06\"} 0\n"
       "neat_test_latency_seconds_bucket{le=\"2e-06\"} 0\n"
@@ -301,6 +308,64 @@ TEST(Tracer, SpansFromJoinedThreadsSurviveInTheExport) {
   }
   EXPECT_EQ(tracer.span_count(), 3u);
   EXPECT_TRUE(JsonValidator(tracer.to_chrome_json()).valid());
+}
+
+TEST(Tracer, RingBufferKeepsNewestSpansAndCountsDrops) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_max_spans_per_thread(4);
+  EXPECT_EQ(tracer.max_spans_per_thread(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    ScopedSpan span("test.ring", tracer);
+    span.arg("i", static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(tracer.span_count(), 4u);   // capped at the ring capacity
+  EXPECT_EQ(tracer.spans_dropped(), 6u);  // the 6 oldest were overwritten
+
+  // The survivors are the most recent spans (i = 6..9), newest first in the
+  // /tracez payload.
+  const std::string tracez = tracer.to_tracez_json(10);
+  EXPECT_TRUE(JsonValidator(tracez).valid()) << tracez;
+  for (const char* kept : {"\"i\":6", "\"i\":7", "\"i\":8", "\"i\":9"}) {
+    EXPECT_NE(tracez.find(kept), std::string::npos) << "missing " << kept << " in " << tracez;
+  }
+  EXPECT_EQ(tracez.find("\"i\":5"), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("\"spans_dropped\":6"), std::string::npos) << tracez;
+
+  // clear() empties the ring but keeps the cumulative drop count.
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.spans_dropped(), 6u);
+}
+
+TEST(Tracer, TracezTruncatesToNewestAcrossThreads) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  { ScopedSpan span("test.old", tracer); }
+  std::thread([&tracer] { ScopedSpan span("test.new", tracer); }).join();
+  const std::string tracez = tracer.to_tracez_json(1);
+  EXPECT_TRUE(JsonValidator(tracez).valid()) << tracez;
+  EXPECT_NE(tracez.find("test.new"), std::string::npos) << tracez;
+  EXPECT_EQ(tracez.find("test.old"), std::string::npos) << tracez;
+  EXPECT_NE(tracez.find("\"span_count\":2"), std::string::npos) << tracez;
+}
+
+TEST(Tracer, NextTraceIdIsMonotonicAndNeverZero) {
+  const std::uint64_t a = next_trace_id();
+  const std::uint64_t b = next_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(Prometheus, HelpRegisteredBeforeFamilyCreationApplies) {
+  Registry reg;
+  reg.set_help("neat_test_early_total", "Registered before the family existed.");
+  EXPECT_EQ(reg.to_prometheus(), "");  // help alone creates no family
+  reg.counter("neat_test_early_total").add(1);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("# HELP neat_test_early_total Registered before the family existed.\n"),
+            std::string::npos)
+      << text;
 }
 
 TEST(JsonEscape, EscapesControlAndQuoteCharacters) {

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Regression gate over two BENCH_*.json bench-trajectory files.
+
+Compares the current bench output against a baseline (both produced by the
+fig6/fig7 bench binaries, see bench/bench_json.h) and exits non-zero when
+any duration metric's median regressed by more than the threshold:
+
+  $ python3 tools/bench_diff.py baseline/BENCH_fig6.json bench_results/BENCH_fig6.json
+  $ python3 tools/bench_diff.py --threshold 0.25 old.json new.json
+
+Rules:
+  * only metrics ending in `_s` (seconds medians) gate by default; counters
+    like sp_calls/flows are workload shape, not speed — pass --all-metrics
+    to gate every shared metric;
+  * rows or metrics present on one side only are reported but never fail
+    the gate (benches gain rows over time);
+  * baseline medians under --min-baseline seconds (default 0.005) are
+    skipped: at bench scale such timings are dominated by noise;
+  * a mismatch in object_scale/network_scale/repeats between the two files
+    fails immediately — the comparison would be meaningless.
+
+Exit codes: 0 ok, 1 regression found, 2 usage/incomparable inputs.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"bench_diff: cannot read {path}: {e}\n")
+        sys.exit(2)
+    for key in ("bench", "rows"):
+        if key not in doc:
+            sys.stderr.write(f"bench_diff: {path}: missing '{key}'\n")
+            sys.exit(2)
+    return doc
+
+
+def rows_by_name(doc):
+    return {row["name"]: row.get("metrics", {}) for row in doc["rows"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="BENCH_*.json of the reference commit")
+    ap.add_argument("current", help="BENCH_*.json of the candidate commit")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed relative median growth (default 0.10 = +10%%)")
+    ap.add_argument("--min-baseline", type=float, default=0.005,
+                    help="skip duration metrics whose baseline median is below "
+                         "this many seconds (default 0.005)")
+    ap.add_argument("--all-metrics", action="store_true",
+                    help="gate every shared metric, not just *_s durations")
+    args = ap.parse_args()
+
+    old = load(args.baseline)
+    new = load(args.current)
+    if old["bench"] != new["bench"]:
+        sys.stderr.write(f"bench_diff: comparing different benches "
+                         f"({old['bench']} vs {new['bench']})\n")
+        sys.exit(2)
+    for key in ("object_scale", "network_scale", "repeats"):
+        if old.get(key) != new.get(key):
+            sys.stderr.write(f"bench_diff: {key} differs "
+                             f"({old.get(key)} vs {new.get(key)}); rerun both "
+                             f"sides with identical NEAT_BENCH_* settings\n")
+            sys.exit(2)
+
+    old_rows, new_rows = rows_by_name(old), rows_by_name(new)
+    regressions, compared, skipped = [], 0, 0
+    for name in sorted(old_rows.keys() | new_rows.keys()):
+        if name not in old_rows or name not in new_rows:
+            side = "baseline" if name in old_rows else "current"
+            print(f"  note: row '{name}' only in {side} (not gated)")
+            continue
+        for metric in sorted(old_rows[name].keys() & new_rows[name].keys()):
+            if not args.all_metrics and not metric.endswith("_s"):
+                continue
+            before, after = old_rows[name][metric], new_rows[name][metric]
+            if metric.endswith("_s") and before < args.min_baseline:
+                skipped += 1
+                continue
+            compared += 1
+            if before <= 0:
+                continue
+            growth = (after - before) / before
+            marker = "REGRESSION" if growth > args.threshold else "ok"
+            if growth > args.threshold:
+                regressions.append((name, metric, before, after, growth))
+            print(f"  {marker:>10}  {name}/{metric}: {before:.6g} -> {after:.6g} "
+                  f"({growth:+.1%})")
+
+    print(f"bench_diff [{new['bench']}]: {compared} metric(s) compared, "
+          f"{skipped} below-noise skipped, {len(regressions)} regression(s) "
+          f"(threshold +{args.threshold:.0%})")
+    if regressions:
+        for name, metric, before, after, growth in regressions:
+            sys.stderr.write(f"bench_diff: {name}/{metric} regressed "
+                             f"{growth:+.1%} ({before:.6g}s -> {after:.6g}s)\n")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

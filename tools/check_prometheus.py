@@ -9,6 +9,9 @@ artifacts. Checks, line by line:
   * metric and label names match the Prometheus grammar;
   * every sample belongs to a family announced by a `# TYPE` line, with the
     suffix rules for histograms (`_bucket`/`_sum`/`_count`);
+  * every family carries BOTH a `# HELP` and a `# TYPE` line (the registry
+    synthesizes help text for unregistered families, so a family arriving
+    without one is an exporter bug);
   * histogram `_bucket` series are cumulative (non-decreasing in `le`) and
     end with an `le="+Inf"` bucket equal to `_count`.
 
@@ -67,6 +70,7 @@ def family_of(name, types):
 
 def main(path):
     types = {}  # family name -> kind
+    helps = {}  # family name -> help text
     # (family, labels-without-le as sorted tuple) -> list of (le, cumulative)
     buckets = {}
     counts = {}
@@ -89,6 +93,17 @@ def main(path):
                     if name in types:
                         fail(lineno, f"duplicate TYPE for {name!r}")
                     types[name] = kind
+                elif len(parts) >= 2 and parts[1] == "HELP":
+                    if len(parts) < 3:
+                        fail(lineno, f"malformed HELP line {line!r}")
+                    name = parts[2]
+                    if NAME_RE.fullmatch(name) is None:
+                        fail(lineno, f"invalid metric name {name!r}")
+                    if name in helps:
+                        fail(lineno, f"duplicate HELP for {name!r}")
+                    if len(parts) < 4 or not parts[3].strip():
+                        fail(lineno, f"HELP for {name!r} has empty text")
+                    helps[name] = parts[3]
                 continue
             m = SAMPLE_RE.match(line)
             if m is None:
@@ -110,6 +125,12 @@ def main(path):
 
     if not types:
         fail(0, "no metric families found")
+    for name in types:
+        if name not in helps:
+            fail(0, f"family {name!r} has a TYPE line but no HELP line")
+    for name in helps:
+        if name not in types:
+            fail(0, f"family {name!r} has a HELP line but no TYPE line")
     for key, series in buckets.items():
         prev = -1.0
         for le, value, lineno in series:
@@ -123,7 +144,7 @@ def main(path):
             fail(counts[key][1],
                  f"histogram {key[0]!r} _count {counts[key][0]} != +Inf bucket {last_value}")
     print(f"check_prometheus: {path}: OK "
-          f"({len(types)} families, {len(buckets)} histogram series)")
+          f"({len(types)} families, all with HELP, {len(buckets)} histogram series)")
 
 
 if __name__ == "__main__":
