@@ -1,14 +1,30 @@
 // Micro-benchmarks (google-benchmark) for the kernels the paper's cost
-// arguments rest on: netflow set intersection, Dijkstra node distances,
-// grid lookups, the modified Hausdorff distance with and without ELB
-// pruning, t-fragment extraction, and the TraClus segment distance.
+// arguments rest on: netflow set intersection, point-to-point and
+// one-to-many node distances across the engine ladder (Dijkstra / ALT /
+// contraction hierarchy), grid lookups, the modified Hausdorff distance
+// with and without ELB pruning, t-fragment extraction, and the TraClus
+// segment distance.
+//
+// Besides the usual console table, the binary writes
+// bench_results/BENCH_micro.json (one row per benchmark, median-free: each
+// google-benchmark repetition is already long enough to be stable) so
+// tools/bench_diff.py can track the kernels across commits.
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_json.h"
 #include "core/clusterer.h"
 #include "core/fragmenter.h"
 #include "core/netflow.h"
 #include "core/refiner.h"
+#include "eval/experiments.h"
+#include "roadnet/ch_engine.h"
 #include "roadnet/generators.h"
+#include "roadnet/landmark_oracle.h"
 #include "roadnet/shortest_path.h"
 #include "roadnet/spatial_index.h"
 #include "sim/mobility_simulator.h"
@@ -18,10 +34,13 @@ using namespace neat;
 
 namespace {
 
-/// Lazily built shared fixture: one mid-sized city + one dataset + flows.
+/// Lazily built shared fixture: one mid-sized city + one dataset + flows,
+/// plus the prebuilt distance accelerators the engine-ladder kernels share.
 struct Fixture {
   roadnet::RoadNetwork net;
   roadnet::SegmentGridIndex index;
+  roadnet::LandmarkOracle landmarks;
+  roadnet::ChEngine ch;
   traj::TrajectoryDataset data;
   Result flow_result;
 
@@ -40,7 +59,9 @@ struct Fixture {
           p.seed = 99;
           return p;
         }())),
-        index(net) {
+        index(net),
+        landmarks(net),
+        ch(net) {
     const sim::SimConfig scfg = sim::default_config(net, 3, 3);
     data = sim::MobilitySimulator(net, scfg).generate(200, 7);
     Config cfg;
@@ -75,6 +96,61 @@ void BM_DijkstraNodeDistance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DijkstraNodeDistance);
+
+// The distance-engine ladder: 0 = Dijkstra, 1 = ALT, 2 = CH. Endpoints
+// cycle over the network, so the CH rows measure the mixed regime the
+// refiner sees: label builds on first touch, pure label merges afterwards.
+void BM_PointToPointDistance(benchmark::State& state) {
+  const Fixture& f = Fixture::get();
+  const int engine = static_cast<int>(state.range(0));
+  roadnet::NodeDistanceOracle oracle(f.net);
+  roadnet::ChEngine::Query query(f.ch);
+  const auto n = static_cast<std::int32_t>(f.net.node_count());
+  std::int32_t i = 0;
+  for (auto _ : state) {
+    const NodeId s(i % n);
+    const NodeId t((i * 131 + 17) % n);
+    ++i;
+    const double d = engine == 2
+                         ? query.distance(s, t)
+                         : oracle.distance(s, t, roadnet::kInfDistance,
+                                           engine == 1 ? &f.landmarks : nullptr);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_PointToPointDistance)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_OneToManyDistances(benchmark::State& state) {
+  // The Phase 3 batch shape: one endpoint settled against a target set in a
+  // single computation. 0 = Dijkstra, 1 = ALT, 2 = CH.
+  const Fixture& f = Fixture::get();
+  const int engine = static_cast<int>(state.range(0));
+  roadnet::NodeDistanceOracle oracle(f.net);
+  roadnet::ChEngine::Query query(f.ch);
+  const auto n = static_cast<std::int32_t>(f.net.node_count());
+  constexpr std::size_t kTargets = 8;
+  std::vector<NodeId> targets(kTargets, NodeId(0));
+  std::vector<double> out(kTargets, 0.0);
+  std::int32_t i = 0;
+  for (auto _ : state) {
+    const NodeId s(i % n);
+    for (std::size_t k = 0; k < kTargets; ++k) {
+      targets[k] = NodeId(static_cast<std::int32_t>(
+          (i * 97 + 31 * static_cast<std::int32_t>(k) + 5) % n));
+    }
+    ++i;
+    if (engine == 2) {
+      query.distances(s, targets, out);
+    } else {
+      oracle.distances(s, targets, out, roadnet::kInfDistance,
+                       engine == 1 ? &f.landmarks : nullptr);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTargets));
+}
+BENCHMARK(BM_OneToManyDistances)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_GridNearestSegment(benchmark::State& state) {
   const Fixture& f = Fixture::get();
@@ -212,6 +288,42 @@ void BM_Phase2FlowFormation(benchmark::State& state) {
 }
 BENCHMARK(BM_Phase2FlowFormation);
 
+/// Console output as usual, plus one BENCH_micro.json row per finished run
+/// (seconds per iteration; counters like items/s stay in the console).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const double iters = run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      rows_.emplace_back(run.benchmark_name(),
+                         std::vector<std::pair<std::string, double>>{
+                             {"real_s_per_iter", run.real_accumulated_time / iters},
+                             {"iterations", static_cast<double>(run.iterations)}});
+    }
+  }
+
+  [[nodiscard]] const auto& rows() const { return rows_; }
+
+ private:
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string, double>>>> rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  bench::BenchJson json("micro", 1.0, 1.0);
+  for (const auto& [name, metrics] : reporter.rows()) json.add_row(name, metrics);
+  const std::string json_path = eval::results_dir() + "/BENCH_micro.json";
+  json.write(json_path);
+  std::cout << "bench trajectory written to " << json_path
+            << " (diff against a baseline with tools/bench_diff.py)\n";
+  return 0;
+}

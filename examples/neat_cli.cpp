@@ -7,9 +7,14 @@
 //   $ ./neat_cli --network net.csv --trajectories trips.csv
 //                [--mode base|flow|opt] [--epsilon M] [--min-card N|auto]
 //                [--wq X --wk Y --wv Z] [--beta B] [--no-elb]
-//                [--landmarks N] [--threads N] [--refine-threads N]
+//                [--landmarks N] [--distance-engine dijkstra|alt|ch]
+//                [--threads N] [--refine-threads N]
 //                [--metrics-out metrics.prom] [--trace-out trace.json]
 //                [--admin-port PORT] [--out prefix]
+//
+// --distance-engine picks the Phase 3 shortest-distance backend: plain
+// Dijkstra, ALT (landmark A*, implies --landmarks), or a contraction
+// hierarchy with memoized upward labels (fastest; exact in all cases).
 //
 // --metrics-out dumps the run's metric registry as Prometheus text
 // exposition; --trace-out enables the pipeline tracer and writes a Chrome
@@ -64,6 +69,7 @@ struct CliOptions {
             << "                [--mode base|flow|opt] [--epsilon METRES]\n"
             << "                [--min-card N|auto] [--wq X --wk Y --wv Z]\n"
             << "                [--beta B|inf] [--no-elb] [--landmarks N]\n"
+            << "                [--distance-engine dijkstra|alt|ch]\n"
             << "                [--threads N] [--refine-threads N] [--out PREFIX]\n"
             << "                [--metrics-out FILE] [--trace-out FILE]\n"
             << "                [--admin-port PORT]\n"
@@ -120,6 +126,12 @@ CliOptions parse_args(int argc, char** argv) {
         if (n < 1) usage("--landmarks must be >= 1");
         opt.config.refine.use_landmarks = true;
         opt.config.refine.num_landmarks = static_cast<int>(n);
+      } else if (arg == "--distance-engine") {
+        const std::string v = next_value(i);
+        if (v == "dijkstra") opt.config.refine.distance_engine = DistanceEngine::kDijkstra;
+        else if (v == "alt") opt.config.refine.distance_engine = DistanceEngine::kAlt;
+        else if (v == "ch") opt.config.refine.distance_engine = DistanceEngine::kCh;
+        else usage(str_cat("unknown distance engine '", v, "' (dijkstra|alt|ch)"));
       } else if (arg == "--metrics-out") {
         opt.metrics_out = next_value(i);
       } else if (arg == "--trace-out") {

@@ -52,18 +52,23 @@ struct SimOptions {
   int admin_port{-1};        ///< -1 = no admin server; 0 = ephemeral port.
   int sample_period_ms{1000};
   int linger_s{0};           ///< Keep serving this long after the workload.
+  DistanceEngine engine{DistanceEngine::kDijkstra};
 };
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
             << "usage: neat_server_sim [--admin-port PORT] [--sample-period-ms MS]\n"
             << "                       [--linger-s SECONDS]\n"
+            << "                       [--distance-engine dijkstra|alt|ch]\n"
             << "  --admin-port PORT       serve /metrics, /healthz, /readyz, /statusz\n"
             << "                          and /tracez on 127.0.0.1:PORT (0 = pick a\n"
             << "                          free port; omit for no admin server)\n"
             << "  --sample-period-ms MS   resource sampler period (default 1000)\n"
             << "  --linger-s SECONDS      keep the server up after the simulated\n"
-            << "                          workload so it can be scraped (default 0)\n";
+            << "                          workload so it can be scraped (default 0)\n"
+            << "  --distance-engine E     Phase 3 distance backend for ingest\n"
+            << "                          re-clustering; 'ch' also routes the\n"
+            << "                          simulated trips through the hierarchy\n";
   std::exit(2);
 }
 
@@ -88,6 +93,12 @@ SimOptions parse_args(int argc, char** argv) {
         const std::int64_t s = parse_int(next_value(i));
         if (s < 0) usage("--linger-s must be >= 0");
         opt.linger_s = static_cast<int>(s);
+      } else if (arg == "--distance-engine") {
+        const std::string v = next_value(i);
+        if (v == "dijkstra") opt.engine = DistanceEngine::kDijkstra;
+        else if (v == "alt") opt.engine = DistanceEngine::kAlt;
+        else if (v == "ch") opt.engine = DistanceEngine::kCh;
+        else usage(str_cat("unknown distance engine '", v, "' (dijkstra|alt|ch)"));
       } else {
         usage(str_cat("unknown argument '", arg, "'"));
       }
@@ -118,6 +129,7 @@ int main(int argc, char** argv) {
   // neat_core_* metrics, so one /metrics scrape sees the whole process.
   Config cfg;
   cfg.refine.epsilon = 2000.0;
+  cfg.refine.distance_engine = opt.engine;
   cfg.phase1_threads = 2;
   serve::SnapshotStore store;
   serve::Metrics metrics(&obs::Registry::global());
@@ -156,7 +168,8 @@ int main(int argc, char** argv) {
   // is clustered incrementally by the background worker; a new snapshot
   // version appears after each one without ever blocking queries. Every
   // upload travels under a fresh trace_id.
-  const sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
+  sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
+  sim_cfg.use_ch_routing = opt.engine == DistanceEngine::kCh;
   const sim::MobilitySimulator simulator(net, sim_cfg);
   constexpr std::size_t kBatches = 3;
   constexpr std::size_t kTripsPerBatch = 100;

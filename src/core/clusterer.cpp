@@ -77,6 +77,7 @@ Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
     result.elb_pruned_pairs = p3.elb_pruned_pairs;
     result.lm_pruned_pairs = p3.lm_pruned_pairs;
     result.pairs_evaluated = p3.pairs_evaluated;
+    result.settled_nodes = p3.settled_nodes;
     span.arg("final_clusters", static_cast<std::uint64_t>(result.final_clusters.size()));
     span.arg("sp_computations", static_cast<std::uint64_t>(result.sp_computations));
   }

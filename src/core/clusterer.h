@@ -62,6 +62,7 @@ struct Result {
   std::size_t elb_pruned_pairs{0};
   std::size_t lm_pruned_pairs{0};
   std::size_t pairs_evaluated{0};
+  std::size_t settled_nodes{0};
 
   PhaseTiming timing;
 };

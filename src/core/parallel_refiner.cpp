@@ -31,9 +31,12 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
   span.arg("flows", static_cast<std::uint64_t>(n));
   span.arg("threads", static_cast<std::uint64_t>(threads));
 
-  // Build the shared landmark tables before spawning: workers only read.
+  // Build the shared accelerators (landmark tables, contraction hierarchy)
+  // before spawning: workers only read.
   const roadnet::LandmarkOracle* lm = refiner_.landmark_oracle();
   static_cast<void>(lm);
+  const roadnet::ChEngine* ch = refiner_.ch_engine();
+  static_cast<void>(ch);
 
   const std::size_t total_pairs = n * (n - 1) / 2;
   std::vector<double> pair_dist(total_pairs);
@@ -60,7 +63,7 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
         obs::Tracer::global().set_thread_name(str_cat("refine-worker-", w));
         obs::ScopedSpan worker_span("phase3.worker");
         worker_span.arg("worker", static_cast<std::uint64_t>(w));
-        roadnet::NodeDistanceOracle oracle(refiner_.network());
+        Refiner::DistanceContext ctx = refiner_.make_context();
         // Stack-local counters avoid false sharing between workers' slots of
         // the shared vector; merged once at thread end.
         Phase3Output local;
@@ -75,7 +78,7 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
           std::size_t j = i + 1 + (begin - (i * n - i * (i + 1) / 2));
           for (std::size_t p = begin; p < end; ++p) {
             pair_dist[p] =
-                refiner_.refine_pair_distance(flows[i], flows[j], oracle, local);
+                refiner_.refine_pair_distance(flows[i], flows[j], ctx, local);
             if (++j == n) {
               ++i;
               j = i + 1;
@@ -103,12 +106,15 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
   obs::ScopedSpan merge_span("phase3.cluster");
   Phase3Output out = refiner_.cluster_from_pair_distances(flows, pair_dist);
   // Counters are order-independent sums, so the totals match the serial run
-  // exactly no matter how chunks were interleaved.
+  // exactly no matter how chunks were interleaved — except settled_nodes
+  // under the CH engine, where each worker's Query memoizes hub labels and
+  // the total therefore depends on how chunks land on workers.
   for (const Phase3Output& c : counters) {
     out.sp_computations += c.sp_computations;
     out.elb_pruned_pairs += c.elb_pruned_pairs;
     out.lm_pruned_pairs += c.lm_pruned_pairs;
     out.pairs_evaluated += c.pairs_evaluated;
+    out.settled_nodes += c.settled_nodes;
   }
   detail::add_phase3_metrics(out, total_pairs, refiner_.config().use_landmarks);
   obs::Registry::global()

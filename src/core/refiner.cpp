@@ -27,6 +27,7 @@ void add_phase3_metrics(const Phase3Output& counters, std::size_t total_pairs,
   reg.counter("neat_core_elb_pruned_pairs_total").add(counters.elb_pruned_pairs);
   reg.counter("neat_core_lm_pruned_pairs_total").add(counters.lm_pruned_pairs);
   reg.counter("neat_core_sp_computations_total").add(counters.sp_computations);
+  reg.counter("neat_core_sp_settled_nodes_total").add(counters.settled_nodes);
   if (landmarks_enabled) {
     // Landmark-bound hit rate: checks are the pairs that survived ELB and
     // reached the triangle-inequality test, hits the pairs it eliminated.
@@ -50,23 +51,55 @@ Refiner::Refiner(const roadnet::RoadNetwork& net, RefineConfig config)
     : net_(net), config_(config) {
   NEAT_EXPECT(config_.epsilon > 0.0, "RefineConfig: epsilon must be positive");
   NEAT_EXPECT(config_.min_pts >= 1, "RefineConfig: min_pts must be at least 1");
+  // Normalize the legacy landmark flag against the engine choice: the old
+  // use_landmarks spelling selects the ALT rung, and the ALT rung implies
+  // the landmark tables it runs on.
+  if (config_.use_landmarks && config_.distance_engine == DistanceEngine::kDijkstra) {
+    config_.distance_engine = DistanceEngine::kAlt;
+  }
+  if (config_.distance_engine == DistanceEngine::kAlt) config_.use_landmarks = true;
   NEAT_EXPECT(!config_.use_landmarks || config_.num_landmarks >= 1,
               "RefineConfig: num_landmarks must be at least 1 when landmarks are enabled");
 }
 
 void Refiner::set_landmarks(std::shared_ptr<const roadnet::LandmarkOracle> landmarks) {
-  const std::lock_guard<std::mutex> lock(landmarks_mu_);
+  const std::lock_guard<std::mutex> lock(accel_mu_);
   landmarks_ = std::move(landmarks);
 }
 
 const roadnet::LandmarkOracle* Refiner::landmark_oracle() const {
   if (!config_.use_landmarks) return nullptr;
-  const std::lock_guard<std::mutex> lock(landmarks_mu_);
+  const std::lock_guard<std::mutex> lock(accel_mu_);
   if (!landmarks_) {
     landmarks_ =
         std::make_shared<const roadnet::LandmarkOracle>(net_, config_.num_landmarks);
   }
   return landmarks_.get();
+}
+
+void Refiner::set_ch_engine(std::shared_ptr<const roadnet::ChEngine> ch) {
+  if (ch) {
+    NEAT_EXPECT(!ch->options().directed && &ch->network() == &net_,
+                "Refiner: needs an undirected ChEngine over the same network");
+  }
+  const std::lock_guard<std::mutex> lock(accel_mu_);
+  ch_ = std::move(ch);
+}
+
+const roadnet::ChEngine* Refiner::ch_engine() const {
+  if (config_.distance_engine != DistanceEngine::kCh) return nullptr;
+  const std::lock_guard<std::mutex> lock(accel_mu_);
+  if (!ch_) {
+    // Undirected, metres — the same metric NodeDistanceOracle answers in.
+    ch_ = std::make_shared<const roadnet::ChEngine>(net_);
+  }
+  return ch_.get();
+}
+
+Refiner::DistanceContext Refiner::make_context() const {
+  DistanceContext ctx{roadnet::NodeDistanceOracle(net_), std::nullopt};
+  if (const roadnet::ChEngine* ch = ch_engine()) ctx.ch.emplace(*ch);
+  return ctx;
 }
 
 double Refiner::min_euclidean_endpoint_distance(const FlowCluster& a,
@@ -93,15 +126,20 @@ double Refiner::landmark_hausdorff_bound(const FlowCluster& a, const FlowCluster
 }
 
 double Refiner::network_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                                  roadnet::NodeDistanceOracle& oracle,
+                                  DistanceContext& ctx,
                                   const roadnet::LandmarkOracle* lm) const {
   const double bound = config_.bound_searches_at_epsilon ? config_.epsilon : kInf;
   const std::array<NodeId, 2> b_ends{b.start_junction(), b.end_junction()};
   std::array<double, 2> row1{};
   std::array<double, 2> row2{};
   // One batched search per endpoint of `a` settles both endpoints of `b`:
-  // two searches per pair instead of four.
-  oracle.distances(a.start_junction(), b_ends, row1, bound, lm);
+  // two searches per pair instead of four. Every engine returns the same
+  // distances; only the settled work differs.
+  if (ctx.ch) {
+    ctx.ch->distances(a.start_junction(), b_ends, row1, bound);
+  } else {
+    ctx.oracle.distances(a.start_junction(), b_ends, row1, bound, lm);
+  }
   if (config_.bound_searches_at_epsilon &&
       std::min(row1[0], row1[1]) > config_.epsilon) {
     // Formula 5's forward term is already > ε, so the pair cannot merge;
@@ -109,7 +147,11 @@ double Refiner::network_hausdorff(const FlowCluster& a, const FlowCluster& b,
     // the second search.
     return kInf;
   }
-  oracle.distances(a.end_junction(), b_ends, row2, bound, lm);
+  if (ctx.ch) {
+    ctx.ch->distances(a.end_junction(), b_ends, row2, bound);
+  } else {
+    ctx.oracle.distances(a.end_junction(), b_ends, row2, bound, lm);
+  }
   return hausdorff_from_parts(row1[0], row1[1], row2[0], row2[1]);
 }
 
@@ -130,15 +172,16 @@ double Refiner::euclidean_route_hausdorff(const FlowCluster& a, const FlowCluste
 }
 
 double Refiner::network_route_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                                        roadnet::NodeDistanceOracle& oracle,
+                                        DistanceContext& ctx,
                                         const roadnet::LandmarkOracle* lm) const {
   const double bound = config_.bound_searches_at_epsilon ? config_.epsilon : kInf;
   const auto directed = [&](const std::vector<NodeId>& from, const std::vector<NodeId>& to) {
     double worst = 0.0;
     for (const NodeId u : from) {
-      // One multi-target Dijkstra: the first settled junction of `to` is
-      // the closest, i.e. min_v d_N(u, v).
-      worst = std::max(worst, oracle.distance_to_any(u, to, bound, lm));
+      // One multi-target query: min_v d_N(u, v) over the other route's
+      // junctions (the oracle settles the first target; CH buckets them).
+      worst = std::max(worst, ctx.ch ? ctx.ch->distance_to_any(u, to, bound)
+                                     : ctx.oracle.distance_to_any(u, to, bound, lm));
       if (worst > config_.epsilon) break;  // the max can only grow
     }
     return worst;
@@ -153,16 +196,15 @@ double Refiner::elb_key(const FlowCluster& a, const FlowCluster& b) const {
 }
 
 double Refiner::flow_distance(const FlowCluster& a, const FlowCluster& b) const {
-  roadnet::NodeDistanceOracle oracle(net_);
+  DistanceContext ctx = make_context();
   const roadnet::LandmarkOracle* lm = landmark_oracle();
   return config_.distance_mode == FlowDistanceMode::kEndpoints
-             ? network_hausdorff(a, b, oracle, lm)
-             : network_route_hausdorff(a, b, oracle, lm);
+             ? network_hausdorff(a, b, ctx, lm)
+             : network_route_hausdorff(a, b, ctx, lm);
 }
 
 double Refiner::refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
-                                     roadnet::NodeDistanceOracle& oracle,
-                                     Phase3Output& counters) const {
+                                     DistanceContext& ctx, Phase3Output& counters) const {
   if (config_.use_elb && elb_key(a, b) > config_.epsilon) {
     // ELB: the true network distance can only be larger; prune without any
     // shortest-path computation.
@@ -178,11 +220,13 @@ double Refiner::refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
     ++counters.lm_pruned_pairs;
     return kInf;
   }
-  const std::size_t before = oracle.computations();
+  const std::size_t before = ctx.computations();
+  const std::size_t before_settled = ctx.settled_nodes();
   const double d = config_.distance_mode == FlowDistanceMode::kEndpoints
-                       ? network_hausdorff(a, b, oracle, lm)
-                       : network_route_hausdorff(a, b, oracle, lm);
-  counters.sp_computations += oracle.computations() - before;
+                       ? network_hausdorff(a, b, ctx, lm)
+                       : network_route_hausdorff(a, b, ctx, lm);
+  counters.sp_computations += ctx.computations() - before;
+  counters.settled_nodes += ctx.settled_nodes() - before_settled;
   ++counters.pairs_evaluated;
   return d;
 }
@@ -291,14 +335,14 @@ Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
   // Evaluating the full condensed matrix up front keeps the serial and
   // parallel refiners on one code path with bit-identical results.
   Phase3Output counters;
-  roadnet::NodeDistanceOracle oracle(net_);
+  DistanceContext ctx = make_context();
   std::vector<double> pair_dist(n * (n - 1) / 2);
   {
     obs::ScopedSpan pairs_span("phase3.pair_distances");
     std::size_t p = 0;
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
-        pair_dist[p++] = refine_pair_distance(flows[i], flows[j], oracle, counters);
+        pair_dist[p++] = refine_pair_distance(flows[i], flows[j], ctx, counters);
       }
     }
     pairs_span.arg("pairs", static_cast<std::uint64_t>(pair_dist.size()));
@@ -315,6 +359,7 @@ Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
   out.elb_pruned_pairs = counters.elb_pruned_pairs;
   out.lm_pruned_pairs = counters.lm_pruned_pairs;
   out.pairs_evaluated = counters.pairs_evaluated;
+  out.settled_nodes = counters.settled_nodes;
   obs::Registry::global()
       .counter("neat_core_final_clusters_total")
       .add(out.clusters.size());

@@ -17,15 +17,21 @@
 //    whenever shortest paths bend, e.g. on grid networks. The same tables
 //    steer the surviving searches as A* potentials.
 // Neither prune ever changes a merge decision, only the work performed.
+//
+// Queries that survive pruning run on a configurable DistanceEngine ladder
+// (plain Dijkstra / ALT-steered A* / Contraction Hierarchies); every rung
+// returns the same distances, so clusters are bit-identical across engines.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/flow_cluster.h"
+#include "roadnet/ch_engine.h"
 #include "roadnet/road_network.h"
 #include "roadnet/shortest_path.h"
 
@@ -43,6 +49,21 @@ enum class FlowDistanceMode {
   kFullRoute,
 };
 
+/// Which engine answers the shortest-path queries that survive pruning.
+/// Every rung returns identical distances — the ladder only trades
+/// preprocessing for per-query work, never merge decisions.
+enum class DistanceEngine {
+  /// Plain bounded Dijkstra (NodeDistanceOracle), no preprocessing.
+  kDijkstra,
+  /// ALT: landmark tables prune pairs and steer the surviving searches as
+  /// A*. Equivalent to kDijkstra + use_landmarks (kept for compatibility).
+  kAlt,
+  /// Contraction Hierarchies: one-time node-contraction preprocessing, then
+  /// bidirectional upward searches that settle orders of magnitude fewer
+  /// nodes per query (roadnet::ChEngine).
+  kCh,
+};
+
 /// Parameters of Phase 3.
 struct RefineConfig {
   double epsilon{3000.0};  ///< DBSCAN ε in metres of network distance.
@@ -55,6 +76,12 @@ struct RefineConfig {
   /// Dijkstra runs to build (lazily, on first refine()).
   bool use_landmarks{false};
   int num_landmarks{8};    ///< Landmark count when use_landmarks is set.
+  /// Shortest-path engine for the queries pruning cannot skip. The Refiner
+  /// constructor normalizes the legacy flag: use_landmarks with kDijkstra
+  /// becomes kAlt, and kAlt implies use_landmarks. kCh builds a
+  /// roadnet::ChEngine lazily on first refine() (or accepts a shared one
+  /// via Refiner::set_ch_engine).
+  DistanceEngine distance_engine{DistanceEngine::kDijkstra};
   /// Stop each Dijkstra once the search frontier passes ε. Every clustering
   /// decision is identical (DBSCAN only asks whether d <= ε; a leg that
   /// bounds out is > ε, and Formula 5's max/min structure preserves the
@@ -89,6 +116,7 @@ struct Phase3Output {
   std::size_t elb_pruned_pairs{0};  ///< Flow pairs eliminated by ELB alone.
   std::size_t lm_pruned_pairs{0};   ///< Pairs eliminated by the landmark bound (after ELB).
   std::size_t pairs_evaluated{0};   ///< Flow pairs whose network distance was computed.
+  std::size_t settled_nodes{0};     ///< Nodes settled across all searches (work proxy).
 };
 
 /// The modified Hausdorff distance of Definition 11 given the four pairwise
@@ -138,13 +166,32 @@ class Refiner {
 
   // --- building blocks shared with ParallelRefiner ---------------------------
 
+  /// Per-thread distance-evaluation workspace: a Dijkstra/ALT oracle plus,
+  /// under DistanceEngine::kCh, a query head bound to the shared hierarchy.
+  /// Obtain via make_context(); not thread safe, create one per thread.
+  struct DistanceContext {
+    roadnet::NodeDistanceOracle oracle;
+    std::optional<roadnet::ChEngine::Query> ch;
+
+    [[nodiscard]] std::size_t computations() const {
+      return oracle.computations() + (ch ? ch->computations() : 0);
+    }
+    [[nodiscard]] std::size_t settled_nodes() const {
+      return oracle.settled_nodes() + (ch ? ch->settled_nodes() : 0);
+    }
+  };
+
+  /// Builds a workspace for the configured engine. Under kCh this triggers
+  /// the (thread-safe, once-only) lazy hierarchy build.
+  [[nodiscard]] DistanceContext make_context() const;
+
   /// Distance of one candidate pair exactly as refine() uses it: applies the
   /// ELB and landmark prunes (returning +inf without any search when one
   /// fires), otherwise evaluates the configured network Hausdorff with
   /// batched one-to-many searches. Work counters accumulate into `counters`
   /// (the `clusters` member is untouched).
   [[nodiscard]] double refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
-                                            roadnet::NodeDistanceOracle& oracle,
+                                            DistanceContext& ctx,
                                             Phase3Output& counters) const;
 
   /// The deterministic DBSCAN merge over a precomputed condensed pair
@@ -162,22 +209,31 @@ class Refiner {
   /// otherwise the seeded or lazily built instance. Thread safe.
   [[nodiscard]] const roadnet::LandmarkOracle* landmark_oracle() const;
 
+  /// Pre-seeds the contraction hierarchy (e.g. to amortize one build across
+  /// refiners or batches). Ignored unless distance_engine is kCh; the
+  /// engine must be undirected over the same network.
+  void set_ch_engine(std::shared_ptr<const roadnet::ChEngine> ch);
+
+  /// The hierarchy used by this refiner: nullptr unless distance_engine is
+  /// kCh, otherwise the seeded or lazily built instance. Thread safe.
+  [[nodiscard]] const roadnet::ChEngine* ch_engine() const;
+
   [[nodiscard]] const RefineConfig& config() const { return config_; }
   [[nodiscard]] const roadnet::RoadNetwork& network() const { return net_; }
 
  private:
-  double network_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                           roadnet::NodeDistanceOracle& oracle,
+  double network_hausdorff(const FlowCluster& a, const FlowCluster& b, DistanceContext& ctx,
                            const roadnet::LandmarkOracle* lm) const;
   double network_route_hausdorff(const FlowCluster& a, const FlowCluster& b,
-                                 roadnet::NodeDistanceOracle& oracle,
+                                 DistanceContext& ctx,
                                  const roadnet::LandmarkOracle* lm) const;
   double elb_key(const FlowCluster& a, const FlowCluster& b) const;
 
   const roadnet::RoadNetwork& net_;
   RefineConfig config_;
-  mutable std::mutex landmarks_mu_;
+  mutable std::mutex accel_mu_;  ///< Guards the lazily built accelerators.
   mutable std::shared_ptr<const roadnet::LandmarkOracle> landmarks_;
+  mutable std::shared_ptr<const roadnet::ChEngine> ch_;
 };
 
 }  // namespace neat

@@ -1,0 +1,234 @@
+// Contraction Hierarchies (Geisberger et al. 2008) over road networks.
+//
+// A one-time preprocessing pass contracts nodes in importance order (lazy
+// edge-difference heuristic), inserting shortcut arcs that preserve all
+// shortest-path distances among the not-yet-contracted nodes. Queries then
+// run two tiny Dijkstra searches that only climb *upward* in the contraction
+// order — forward from the source, backward from the target — and meet at
+// the apex of a shortest up-down path. Stall-on-demand prunes upward labels
+// that a higher-ranked detour already beats.
+//
+// Each upward search depends only on its endpoint and the query bound, so a
+// Query memoizes the resulting label (the bucket entries of the classic CH
+// many-to-many algorithm: every settled node with its distance and parent
+// arc). Labels are built out to the requested bound — within it every
+// reachable meet hub is retained exactly, beyond it the query answers
+// kInfDistance by contract, so the truncation is invisible — and rebuilt
+// only if a later query asks for a larger bound. The Phase 3 refiner issues
+// O(flows^2) pair queries over O(flows) distinct endpoints at one fixed ε
+// bound; after the first touch of an endpoint, every further pair distance
+// is a sorted-label merge that settles no nodes at all.
+//
+// Exactness: answers are not read off the bidirectional meet value. The
+// engine unpacks the winning up-down path into its original arcs and re-sums
+// the weights sequentially from the source — the same left-to-right
+// floating-point accumulation a plain Dijkstra performs along that path — so
+// distances are bit-identical to NodeDistanceOracle whenever the shortest
+// path is unique (and within rounding ties of equal-length alternatives
+// otherwise). Bounded queries keep the Dijkstra contract: the exact distance
+// when it is <= bound, kInfDistance otherwise.
+//
+// Like LandmarkOracle, a built engine is immutable and safe to share across
+// threads; per-thread query state lives in ChEngine::Query.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "roadnet/road_network.h"
+#include "roadnet/shortest_path.h"
+
+namespace neat::roadnet {
+
+/// Preprocessing/query options of ChEngine (namespace scope so it is
+/// complete where the constructor's default argument needs it).
+struct ChOptions {
+  /// false: the undirected metric of NEAT Phase 3 (every segment
+  /// traversable both ways, matching NodeDistanceOracle); true: one-way
+  /// aware routing over directed edges (supports route()).
+  bool directed{false};
+  /// Arc weight: segment length (metres) or length / speed limit (s).
+  Metric metric{Metric::kDistance};
+  /// Settled-node budget of each witness search during preprocessing.
+  /// Exhausting it inserts a (possibly redundant) shortcut — never wrong,
+  /// only larger; raising the budget trades build time for query speed.
+  int witness_settle_limit{64};
+};
+
+/// Exact shortest-distance engine with Contraction Hierarchies preprocessing.
+class ChEngine {
+ public:
+  using Options = ChOptions;
+
+  /// Preprocesses the network. Throws neat::PreconditionError on an empty
+  /// network. Keeps a reference to `net`; do not outlive it.
+  explicit ChEngine(const RoadNetwork& net, Options opts = {});
+
+  ChEngine(const ChEngine&) = delete;
+  ChEngine& operator=(const ChEngine&) = delete;
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] const RoadNetwork& network() const { return net_; }
+  /// Shortcut arcs inserted by preprocessing (on top of the base arcs).
+  [[nodiscard]] std::size_t shortcut_count() const { return shortcut_count_; }
+  /// Total arcs in the hierarchy (base + shortcuts).
+  [[nodiscard]] std::size_t arc_count() const { return arcs_.size(); }
+  /// Wall-clock seconds the preprocessing pass took.
+  [[nodiscard]] double preprocessing_seconds() const { return preprocessing_seconds_; }
+  /// Contraction order of a node (0 = contracted first). For tests.
+  [[nodiscard]] std::int32_t rank(NodeId n) const;
+
+  /// Per-thread query workspace over a shared engine. Mirrors the
+  /// NodeDistanceOracle interface (bounded queries, batch one-to-many,
+  /// computation/settled counters) so the refiner can swap engines without
+  /// changing its merge logic. Not thread safe; create one per thread.
+  class Query {
+   public:
+    explicit Query(const ChEngine& engine);
+
+    /// Distance from `s` to `t` in the engine's metric, or kInfDistance
+    /// when unreachable or beyond `bound`.
+    [[nodiscard]] double distance(NodeId s, NodeId t, double bound = kInfDistance);
+
+    /// Distance from `s` to the closest of `targets` (min over targets).
+    [[nodiscard]] double distance_to_any(NodeId s, std::span<const NodeId> targets,
+                                         double bound = kInfDistance);
+
+    /// One-to-many batch: merges the source's cached forward label against
+    /// each target's cached backward label. `out.size()` must equal
+    /// `targets.size()`. Counts as one computation, like the oracle's batch.
+    void distances(NodeId s, std::span<const NodeId> targets, std::span<double> out,
+                   double bound = kInfDistance);
+
+    /// Shortest route from `s` to `t` (directed engines only; throws
+    /// neat::PreconditionError otherwise), or std::nullopt when unreachable.
+    [[nodiscard]] std::optional<Route> route(NodeId s, NodeId t);
+
+    /// Query calls issued so far (a batch counts once, as in the oracle).
+    [[nodiscard]] std::size_t computations() const { return computations_; }
+    /// Nodes settled across all calls, both search directions (work proxy;
+    /// directly comparable to NodeDistanceOracle::settled_nodes()). Label
+    /// cache hits settle nothing — that is the point of the cache.
+    [[nodiscard]] std::size_t settled_nodes() const { return settled_; }
+    void reset_counters();
+
+   private:
+    /// One settled node of an upward search: its exact upward distance from
+    /// the label's endpoint and the hierarchy arc it was reached through
+    /// (-1 at the endpoint itself). Sorted by node id for merge scans.
+    struct LabelEntry {
+      std::int32_t node;
+      double dist;
+      std::int32_t parent;
+    };
+    /// A memoized upward search, valid for any query bound <= `bound`.
+    struct Label {
+      double bound{0.0};
+      std::vector<LabelEntry> entries;
+    };
+
+    void run_batch(NodeId s, std::span<const NodeId> targets, std::span<double> out,
+                   double bound, std::vector<std::int32_t>* leaves_of_first);
+    /// Cached upward label of `src` (forward = relax up_fwd_, stall via
+    /// up_rev_; backward the mirror), built out to at least `bound`.
+    /// Computes and memoizes on first touch; rebuilds on a larger bound.
+    const Label& label(bool forward, std::int32_t src, double bound);
+    /// Arena arcs of the up-down path through `meet`, unpacked into base
+    /// arcs in s -> t order.
+    void collect_leaves(const Label& fwd, const Label& bwd, std::int32_t meet,
+                        std::vector<std::int32_t>& leaves) const;
+
+    const ChEngine& ch_;
+    // Upward-search scratch (generation-stamped, reused across label builds).
+    std::vector<double> dist_;
+    std::vector<std::uint32_t> stamp_;
+    std::vector<std::int32_t> parent_;
+    std::uint32_t gen_{0};
+    // Memoized labels, keyed by endpoint node. Cleared wholesale when the
+    // entry budget is exhausted (keeps unbounded query streams from growing
+    // without limit; correctness never depends on a hit).
+    std::unordered_map<std::int32_t, Label> fwd_labels_;
+    std::unordered_map<std::int32_t, Label> bwd_labels_;
+    std::size_t cached_entries_{0};
+    std::vector<std::int32_t> leaves_scratch_;
+    std::vector<double> any_scratch_;
+    std::size_t computations_{0};
+    std::size_t settled_{0};
+  };
+
+ private:
+  friend class Query;
+
+  /// One arc of the hierarchy. Base arcs carry the directed edge they came
+  /// from (invalid in undirected mode); shortcuts carry the two arcs they
+  /// replace, so any hierarchy path unpacks into base arcs.
+  struct Arc {
+    std::int32_t from;
+    std::int32_t to;
+    double w;
+    std::int32_t left{-1};   ///< First replaced arc (arena index), -1 = base.
+    std::int32_t right{-1};  ///< Second replaced arc.
+    EdgeId eid{EdgeId::invalid()};
+  };
+
+  /// CSR entry of the upward search graphs: the higher-ranked endpoint,
+  /// the arc weight, and the arena arc (for parent tracking / unpacking).
+  struct UpArc {
+    std::int32_t other;
+    double w;
+    std::int32_t arc;
+  };
+
+  void add_base_arcs();
+  void contract_all();
+  void build_upward_graphs();
+  /// Shortcuts node `v` would need (simulate) or inserts them (!simulate).
+  int contract(std::int32_t v, bool simulate);
+  /// Bounded witness Dijkstra from `u` in the remaining graph, skipping `v`.
+  void witness_search(std::int32_t u, std::int32_t v, double bound);
+  [[nodiscard]] std::int64_t priority(std::int32_t v);
+
+  const RoadNetwork& net_;
+  Options opts_;
+  std::size_t n_{0};
+  std::vector<Arc> arcs_;
+  std::vector<std::int32_t> rank_;
+  std::size_t shortcut_count_{0};
+  double preprocessing_seconds_{0.0};
+
+  // Upward search graphs (built once contraction finishes).
+  // up_fwd_: arcs (u -> higher rank), relaxed by the forward search and
+  // scanned by the backward search's stall test. up_rev_: arcs
+  // (higher rank -> u) stored at u, the mirror roles.
+  std::vector<std::int32_t> up_fwd_head_;
+  std::vector<UpArc> up_fwd_;
+  std::vector<std::int32_t> up_rev_head_;
+  std::vector<UpArc> up_rev_;
+
+  // Preprocessing-only state (cleared after the constructor).
+  std::vector<std::vector<std::int32_t>> out_adj_;
+  std::vector<std::vector<std::int32_t>> in_adj_;
+  std::vector<char> contracted_;
+  std::vector<std::int32_t> deleted_neighbors_;
+  std::vector<std::int32_t> level_;
+  /// Reverse-direction twin of each arc (undirected mode only): base arcs
+  /// pair up as i <-> i^1, shortcut twins are appended together. Lets
+  /// contract() build the reverse shortcut's unpacking children.
+  std::vector<std::int32_t> twin_;
+  std::vector<double> wdist_;
+  std::vector<std::uint32_t> wstamp_;
+  std::uint32_t wgen_{0};
+  struct Neighbor {
+    std::int32_t node;
+    std::int32_t arc;  ///< Cheapest arc to/from that neighbor (arena index).
+    double w;          ///< Its weight.
+  };
+  std::vector<Neighbor> in_nb_;   ///< contract() scratch.
+  std::vector<Neighbor> out_nb_;  ///< contract() scratch.
+};
+
+}  // namespace neat::roadnet

@@ -4,22 +4,35 @@
 // many distinct junctions inside the hotspot regions, so the planner caches
 // one *reverse* shortest-path tree per destination and answers every trip
 // toward it in O(route length), independent of the origin count.
+//
+// Alternatively the planner reuses a directed ChEngine (see
+// roadnet/ch_engine.h): route costs are identical, but planning stays cheap
+// even when the destination set is large or trips are ad hoc, because the
+// per-endpoint upward labels the engine's Query memoizes are tiny compared
+// to a full reverse SSSP tree per destination.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <unordered_map>
 
+#include "roadnet/ch_engine.h"
 #include "roadnet/road_network.h"
 #include "roadnet/shortest_path.h"
 
 namespace neat::sim {
 
-/// Shortest-route planner with per-destination reverse-SSSP caching. Keeps
-/// a reference to the network; do not outlive it. Not thread safe.
+/// Shortest-route planner with per-destination reverse-SSSP caching, or
+/// CH-backed planning when given an engine. Keeps a reference to the
+/// network; do not outlive it. Not thread safe.
 class TripPlanner {
  public:
-  TripPlanner(const roadnet::RoadNetwork& net, roadnet::Metric metric);
+  /// `ch`, when given, must be a *directed* engine built over `net` with
+  /// the same metric (throws neat::PreconditionError otherwise); the
+  /// planner then answers plan()/reachable() from the hierarchy instead of
+  /// growing reverse SSSP trees.
+  TripPlanner(const roadnet::RoadNetwork& net, roadnet::Metric metric,
+              std::shared_ptr<const roadnet::ChEngine> ch = nullptr);
 
   /// Shortest route from `origin` to `dest` under the planner's metric, or
   /// std::nullopt when unreachable.
@@ -28,8 +41,12 @@ class TripPlanner {
   /// True when `dest` is reachable from `origin`.
   [[nodiscard]] bool reachable(NodeId origin, NodeId dest);
 
-  /// Number of cached reverse SSSP trees (one per distinct destination).
+  /// Number of cached reverse SSSP trees (one per distinct destination;
+  /// always 0 in CH mode).
   [[nodiscard]] std::size_t cached_destinations() const { return trees_.size(); }
+
+  /// True when routes come from a contraction hierarchy.
+  [[nodiscard]] bool uses_ch() const { return query_.has_value(); }
 
  private:
   const roadnet::ReverseSsspTree& tree_for(NodeId dest);
@@ -37,6 +54,8 @@ class TripPlanner {
   const roadnet::RoadNetwork& net_;
   roadnet::Metric metric_;
   std::unordered_map<NodeId, std::unique_ptr<roadnet::ReverseSsspTree>> trees_;
+  std::shared_ptr<const roadnet::ChEngine> ch_;
+  std::optional<roadnet::ChEngine::Query> query_;
 };
 
 }  // namespace neat::sim

@@ -12,8 +12,9 @@ Rules:
   * only metrics ending in `_s` (seconds medians) gate by default; counters
     like sp_calls/flows are workload shape, not speed — pass --all-metrics
     to gate every shared metric;
-  * rows or metrics present on one side only are reported but never fail
-    the gate (benches gain rows over time);
+  * rows or metrics present on one side only are reported as `new` (only in
+    current) or `gone` (only in baseline) but never fail the gate — benches
+    gain rows over time, e.g. when the fig7 ladder grows a CH column;
   * baseline medians under --min-baseline seconds (default 0.005) are
     skipped: at bench scale such timings are dominated by noise;
   * a mismatch in object_scale/network_scale/repeats between the two files
@@ -72,10 +73,15 @@ def main():
 
     old_rows, new_rows = rows_by_name(old), rows_by_name(new)
     regressions, compared, skipped = [], 0, 0
+    added, removed = 0, 0
     for name in sorted(old_rows.keys() | new_rows.keys()):
-        if name not in old_rows or name not in new_rows:
-            side = "baseline" if name in old_rows else "current"
-            print(f"  note: row '{name}' only in {side} (not gated)")
+        if name not in old_rows:
+            added += 1
+            print(f"        new  {name} (only in current, not gated)")
+            continue
+        if name not in new_rows:
+            removed += 1
+            print(f"       gone  {name} (only in baseline, not gated)")
             continue
         for metric in sorted(old_rows[name].keys() & new_rows[name].keys()):
             if not args.all_metrics and not metric.endswith("_s"):
@@ -95,7 +101,8 @@ def main():
                   f"({growth:+.1%})")
 
     print(f"bench_diff [{new['bench']}]: {compared} metric(s) compared, "
-          f"{skipped} below-noise skipped, {len(regressions)} regression(s) "
+          f"{skipped} below-noise skipped, {added} new row(s), "
+          f"{removed} gone, {len(regressions)} regression(s) "
           f"(threshold +{args.threshold:.0%})")
     if regressions:
         for name, metric, before, after, growth in regressions:
