@@ -35,6 +35,8 @@
 #include "common/string_util.h"
 #include "core/result_io.h"
 #include "eval/geojson.h"
+#include "net/http_server.h"
+#include "net/query_service.h"
 #include "obs/http_exporter.h"
 #include "obs/registry.h"
 #include "obs/resource_sampler.h"
@@ -50,6 +52,7 @@ namespace {
 
 struct SimOptions {
   int admin_port{-1};        ///< -1 = no admin server; 0 = ephemeral port.
+  int query_port{-1};        ///< -1 = no public query plane; 0 = ephemeral.
   int sample_period_ms{1000};
   int linger_s{0};           ///< Keep serving this long after the workload.
   DistanceEngine engine{DistanceEngine::kDijkstra};
@@ -57,12 +60,16 @@ struct SimOptions {
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
-            << "usage: neat_server_sim [--admin-port PORT] [--sample-period-ms MS]\n"
-            << "                       [--linger-s SECONDS]\n"
+            << "usage: neat_server_sim [--admin-port PORT] [--query-port PORT]\n"
+            << "                       [--sample-period-ms MS] [--linger-s SECONDS]\n"
             << "                       [--distance-engine dijkstra|alt|ch]\n"
             << "  --admin-port PORT       serve /metrics, /healthz, /readyz, /statusz\n"
             << "                          and /tracez on 127.0.0.1:PORT (0 = pick a\n"
             << "                          free port; omit for no admin server)\n"
+            << "  --query-port PORT       serve the public query plane /v1/nearest,\n"
+            << "                          /v1/segment, /v1/topk and /v1/route on\n"
+            << "                          127.0.0.1:PORT (0 = pick a free port; omit\n"
+            << "                          for no query server)\n"
             << "  --sample-period-ms MS   resource sampler period (default 1000)\n"
             << "  --linger-s SECONDS      keep the server up after the simulated\n"
             << "                          workload so it can be scraped (default 0)\n"
@@ -85,6 +92,10 @@ SimOptions parse_args(int argc, char** argv) {
         const std::int64_t p = parse_int(next_value(i));
         if (p < 0 || p > 65535) usage("--admin-port must be in [0, 65535]");
         opt.admin_port = static_cast<int>(p);
+      } else if (arg == "--query-port") {
+        const std::int64_t p = parse_int(next_value(i));
+        if (p < 0 || p > 65535) usage("--query-port must be in [0, 65535]");
+        opt.query_port = static_cast<int>(p);
       } else if (arg == "--sample-period-ms") {
         const std::int64_t ms = parse_int(next_value(i));
         if (ms < 10) usage("--sample-period-ms must be >= 10");
@@ -164,6 +175,42 @@ int main(int argc, char** argv) {
               << " (/metrics /healthz /readyz /statusz /tracez)\n";
   }
 
+  // --- the public query plane: the same QueryEngine the in-process tier-3
+  // clients use, exposed as JSON /v1/* endpoints, plus route planning over
+  // the road network (CH-backed when the ingest path runs on CH too).
+  // Declaration order matters: the server holds threads calling into the
+  // service and planner, so it is declared last and torn down first.
+  std::unique_ptr<sim::TripPlanner> planner;
+  std::unique_ptr<net::QueryService> query_service;
+  std::unique_ptr<net::HttpServer> query_server;
+  if (opt.query_port >= 0) {
+    std::shared_ptr<const roadnet::ChEngine> ch;
+    if (opt.engine == DistanceEngine::kCh) {
+      roadnet::ChOptions copts;
+      copts.directed = true;
+      copts.metric = roadnet::Metric::kDistance;
+      ch = std::make_shared<const roadnet::ChEngine>(net, copts);
+    }
+    planner = std::make_unique<sim::TripPlanner>(net, roadnet::Metric::kDistance,
+                                                 std::move(ch));
+    query_service = std::make_unique<net::QueryService>(
+        net, engine, planner.get(), obs::Registry::global());
+    net::HttpServerOptions qopts;
+    qopts.port = static_cast<std::uint16_t>(opt.query_port);
+    qopts.registry = &obs::Registry::global();
+    query_server = std::make_unique<net::HttpServer>(qopts);
+    query_service->register_routes(*query_server);
+    try {
+      query_server->start();
+    } catch (const Error& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      return 1;
+    }
+    // The machine-readable line smoke tests grep for the bound port.
+    std::cout << "query: listening on http://127.0.0.1:" << query_server->port()
+              << " (/v1/nearest /v1/segment /v1/topk /v1/route)\n";
+  }
+
   // --- tier 1: clients record trips and upload them in batches. Each batch
   // is clustered incrementally by the background worker; a new snapshot
   // version appears after each one without ever blocking queries. Every
@@ -231,7 +278,7 @@ int main(int argc, char** argv) {
   std::cout << "server_out/snapshot.csv and flows.geojson written ("
             << geojson.size() << " bytes of GeoJSON)\n";
 
-  if (admin != nullptr && opt.linger_s > 0) {
+  if ((admin != nullptr || query_server != nullptr) && opt.linger_s > 0) {
     std::cout << "lingering " << opt.linger_s << "s for scrapes...\n" << std::flush;
     std::this_thread::sleep_for(std::chrono::seconds(opt.linger_s));
   }

@@ -1,0 +1,83 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace neat::net {
+
+namespace {
+
+void set_timeouts(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace
+
+std::string raw_request(const std::string& host, std::uint16_t port,
+                        const std::string& request_bytes,
+                        std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return "";
+  set_timeouts(fd, timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request_bytes.size()) {
+    const ssize_t n = ::send(fd, request_bytes.data() + sent,
+                             request_bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+HttpResult http_get(std::uint16_t port, const std::string& target,
+                    std::chrono::milliseconds timeout) {
+  HttpResult out;
+  out.raw = raw_request("127.0.0.1", port,
+                        "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n",
+                        timeout);
+  out.code = status_of(out.raw);
+  out.body = body_of(out.raw);
+  return out;
+}
+
+int status_of(const std::string& response) {
+  // "HTTP/1.1 NNN ..."
+  if (response.size() < 12 || response.rfind("HTTP/1.1 ", 0) != 0) return -1;
+  int code = 0;
+  for (int i = 9; i < 12; ++i) {
+    if (response[i] < '0' || response[i] > '9') return -1;
+    code = code * 10 + (response[i] - '0');
+  }
+  return code;
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? "" : response.substr(at + 4);
+}
+
+}  // namespace neat::net

@@ -1,0 +1,115 @@
+// Public HTTP query plane: JSON endpoints over the serving stack.
+//
+// A QueryService turns the in-process read path (serve::QueryEngine over a
+// SnapshotStore) and the road-network route planner (sim::TripPlanner,
+// optionally CH-backed) into versioned public endpoints on a
+// net::HttpServer:
+//
+//   GET /v1/nearest?x=&y=[&radius=][&trace_id=]   flow clusters near a point
+//   GET /v1/segment?sid=[&trace_id=]              flows through a segment
+//   GET /v1/topk[?k=][&trace_id=]                 densest flows
+//   GET /v1/route?from=&to=[&trace_id=]           directed shortest route
+//
+// Every response is JSON. Errors are structured, machine-readable objects
+// `{"error":"<code>","detail":"<human text>"}`:
+//   400  missing_parameter / invalid_parameter — strict validation: every
+//        parameter must parse, radii and k must be within configured caps;
+//   404  unknown_segment / unknown_node (well-formed but nonexistent id),
+//        no_flow (nothing within the radius), unreachable (no route);
+//   503  no_snapshot (the store has never published — queries against an
+//        empty store are an operational error, not an empty success),
+//        route_planning_disabled (no planner attached).
+//
+// Request correlation: each endpoint accepts an optional `trace_id` query
+// parameter (a fresh obs::next_trace_id() is minted when absent or 0). The
+// id is attached to the endpoint's span and echoed in the response body, so
+// one /tracez search follows one request from the HTTP edge through the
+// engine's query spans — the same convention the ingest path uses.
+//
+// Observability: the service records, per endpoint, a
+// `neat_net_request_seconds{endpoint=...}` obs::Log2Histogram and a
+// `neat_net_errors_total{endpoint=...}` counter (4xx/5xx) into its
+// registry; the underlying HttpServer contributes
+// `neat_net_requests_total{path=...,code=...}` and `neat_net_shed_total`
+// when constructed with the same registry attached.
+//
+// Thread safety: handlers run on the server's worker pool. QueryEngine is
+// already thread-safe; the TripPlanner is not and is serialized behind an
+// internal mutex (route planning is the only stateful endpoint).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "net/http_server.h"
+#include "obs/registry.h"
+#include "serve/query_engine.h"
+#include "sim/trip_planner.h"
+
+namespace neat::net {
+
+/// Validation caps and defaults of the query plane.
+struct QueryServiceOptions {
+  /// /v1/nearest search radius when the parameter is omitted.
+  double default_radius_m{500.0};
+  /// Largest accepted /v1/nearest radius (grid scans grow with it).
+  double max_radius_m{10000.0};
+  /// /v1/topk answer size when the parameter is omitted.
+  std::size_t default_k{10};
+  /// Largest accepted /v1/topk k.
+  std::size_t max_k{1000};
+};
+
+/// The /v1/* endpoint family. Keeps references to `net`, `engine`,
+/// `planner` (nullable: /v1/route answers 503) and `registry`; do not
+/// outlive them.
+class QueryService {
+ public:
+  QueryService(const roadnet::RoadNetwork& net, const serve::QueryEngine& engine,
+               sim::TripPlanner* planner, obs::Registry& registry,
+               QueryServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Registers the four /v1/* routes on `server` (before server.start()).
+  /// Attach the same registry to the server's options to get the
+  /// neat_net_requests_total / neat_net_shed_total counters alongside the
+  /// service's per-endpoint series.
+  void register_routes(HttpServer& server);
+
+  // Endpoint handlers, exposed for in-process tests; the registered routes
+  // call exactly these.
+  [[nodiscard]] HttpResponse nearest(const HttpRequest& req) const;
+  [[nodiscard]] HttpResponse segment(const HttpRequest& req) const;
+  [[nodiscard]] HttpResponse topk(const HttpRequest& req) const;
+  [[nodiscard]] HttpResponse route(const HttpRequest& req) const;
+
+ private:
+  /// Per-endpoint cached registry series (creation is the cold path).
+  struct Endpoint {
+    const char* span_name;       ///< Static-storage span name ("net.nearest").
+    obs::Log2Histogram& latency;
+    obs::Counter& errors;
+  };
+
+  template <class Fn>
+  [[nodiscard]] HttpResponse answer(const Endpoint& ep, const HttpRequest& req,
+                                    Fn&& fn) const;
+
+  Endpoint make_endpoint(const char* span_name, const char* label);
+
+  const roadnet::RoadNetwork& net_;
+  const serve::QueryEngine& engine_;
+  sim::TripPlanner* planner_;
+  obs::Registry& registry_;
+  QueryServiceOptions options_;
+  mutable std::mutex planner_mu_;  ///< TripPlanner is stateful; serialize it.
+  Endpoint nearest_ep_;
+  Endpoint segment_ep_;
+  Endpoint topk_ep_;
+  Endpoint route_ep_;
+};
+
+}  // namespace neat::net

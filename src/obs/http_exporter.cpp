@@ -1,14 +1,9 @@
 #include "obs/http_exporter.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
-#include <cstring>
+#include <utility>
 
-#include "common/error.h"
 #include "common/string_util.h"
 
 #ifndef NEAT_GIT_SHA
@@ -17,238 +12,59 @@
 
 namespace neat::obs {
 
-namespace {
-
-constexpr std::size_t kMaxRequestBytes = 8192;
-
-const char* reason_phrase(int code) {
-  switch (code) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 503: return "Service Unavailable";
-    default: return "Internal Server Error";
-  }
+net::HttpServerOptions HttpExporter::server_options() const {
+  net::HttpServerOptions sopts;
+  sopts.bind_address = options_.bind_address;
+  sopts.port = options_.port;
+  sopts.worker_threads = options_.worker_threads;
+  sopts.max_pending_connections = options_.max_pending_connections;
+  // Legacy neat_obs_* instrumentation: the admin plane keeps its historical
+  // metric names (and nothing else) in the registry it exports, so scrape
+  // output is unchanged by the net::HttpServer extraction.
+  sopts.observer = [this](const std::string& path, int code) {
+    count_request(path, code);
+  };
+  sopts.on_shed = [this] {
+    registry_.counter("neat_obs_http_connections_dropped_total").add(1);
+  };
+  return sopts;
 }
-
-// 2-second socket timeouts: long enough for any scraper, short enough that
-// a stalled client cannot wedge a worker (or shutdown) for long.
-void set_socket_timeouts(int fd) {
-  timeval tv{};
-  tv.tv_sec = 2;
-  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-bool send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-std::string json_number(double v) {
-  const std::string s = format_fixed(v, 3);
-  return s;
-}
-
-}  // namespace
 
 HttpExporter::HttpExporter(Registry& registry, HttpExporterOptions options,
                            Tracer* tracer)
     : registry_(registry),
       tracer_(tracer),
       options_(std::move(options)),
-      start_(std::chrono::steady_clock::now()) {
-  if (options_.worker_threads == 0) options_.worker_threads = 1;
-  if (options_.max_pending_connections == 0) options_.max_pending_connections = 1;
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    throw Error(str_cat("HttpExporter: socket() failed: ", std::strerror(errno)));
-  }
-  const int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw Error(str_cat("HttpExporter: invalid bind address '",
-                        options_.bind_address, "'"));
-  }
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
-    const std::string why = std::strerror(errno);
-    ::close(fd);
-    throw Error(str_cat("HttpExporter: cannot listen on ", options_.bind_address, ":",
-                        options_.port, ": ", why));
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    const std::string why = std::strerror(errno);
-    ::close(fd);
-    throw Error(str_cat("HttpExporter: getsockname() failed: ", why));
-  }
-  port_ = ntohs(bound.sin_port);
-  listen_fd_.store(fd, std::memory_order_release);
-
-  workers_.reserve(options_.worker_threads);
-  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-  acceptor_ = std::thread([this] { accept_loop(); });
+      start_(std::chrono::steady_clock::now()),
+      server_(server_options()) {
+  register_routes();
+  server_.start();
 }
 
-HttpExporter::~HttpExporter() { stop(); }
-
-void HttpExporter::stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    if (acceptor_.joinable()) acceptor_.join();
-    for (std::thread& w : workers_) {
-      if (w.joinable()) w.join();
-    }
-    return;
-  }
-  // Unblock the acceptor: shutdown() makes a blocked accept() return on
-  // Linux, close() releases the port.
-  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
-  if (fd >= 0) {
-    ::shutdown(fd, SHUT_RDWR);
-    ::close(fd);
-  }
-  queue_cv_.notify_all();
-  if (acceptor_.joinable()) acceptor_.join();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  // Connections still queued were never answered; just release them.
-  const std::lock_guard<std::mutex> lock(queue_mu_);
-  for (const int fd : pending_) ::close(fd);
-  pending_.clear();
-}
-
-void HttpExporter::accept_loop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
-    if (listen_fd < 0) break;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_acquire)) break;
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      break;  // listen socket gone (EBADF/EINVAL after stop, or fatal)
-    }
-    set_socket_timeouts(fd);
-    bool shed = false;
-    {
-      const std::lock_guard<std::mutex> lock(queue_mu_);
-      if (pending_.size() >= options_.max_pending_connections) {
-        shed = true;
-      } else {
-        pending_.push_back(fd);
-      }
-    }
-    if (shed) {
-      ::close(fd);
-      registry_.counter("neat_obs_http_connections_dropped_total").add(1);
-    } else {
-      queue_cv_.notify_one();
-    }
-  }
-}
-
-void HttpExporter::worker_loop() {
-  while (true) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return !pending_.empty() || stopping_.load(std::memory_order_acquire);
-      });
-      if (pending_.empty()) return;  // stopping and drained
-      fd = pending_.front();
-      pending_.pop_front();
-    }
-    serve_connection(fd);
-    ::close(fd);
-  }
-}
-
-void HttpExporter::serve_connection(int fd) const {
-  // Read until the end of the request head (we never consume bodies) or
-  // until the size cap / timeout; a client that sends nothing valid within
-  // either bound gets a 400 or a plain close.
-  std::string request;
-  char buf[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos &&
-         request.find("\n\n") == std::string::npos) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // EOF, timeout or error
-    request.append(buf, static_cast<std::size_t>(n));
-  }
-  if (request.empty()) return;  // connected and left: nothing to answer
-
-  // Request line: METHOD SP TARGET SP HTTP/x.y
-  const std::size_t eol = request.find_first_of("\r\n");
-  const std::string line = request.substr(0, eol);
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.find(' ', sp1 == std::string::npos ? sp1 : sp1 + 1);
-  std::string method, target, version;
-  if (sp1 != std::string::npos && sp2 != std::string::npos && sp2 > sp1 + 1) {
-    method = line.substr(0, sp1);
-    target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    version = line.substr(sp2 + 1);
-  }
-  if (method.empty() || target.empty() || target.front() != '/' ||
-      version.rfind("HTTP/", 0) != 0) {
-    Response bad{400, "text/plain; charset=utf-8", "bad request\n"};
-    count_request("", 400);
-    send_all(fd, render(bad, true));
-    return;
-  }
-  const std::string path = target.substr(0, target.find('?'));
-  send_all(fd, handle(method, path));
-}
-
-std::string HttpExporter::handle(const std::string& method,
-                                 const std::string& path) const {
-  Response r;
-  if (method != "GET" && method != "HEAD") {
-    r = Response{405, "text/plain; charset=utf-8", "only GET is supported\n"};
-  } else {
-    r = dispatch(path);
-  }
-  count_request(path, r.code);
-  return render(r, method != "HEAD");
-}
-
-HttpExporter::Response HttpExporter::dispatch(const std::string& path) const {
-  if (path == "/metrics") {
-    return {200, "text/plain; version=0.0.4; charset=utf-8",
-            registry_.to_prometheus()};
-  }
-  if (path == "/healthz") return {200, "text/plain; charset=utf-8", "ok\n"};
-  if (path == "/readyz") {
+void HttpExporter::register_routes() {
+  server_.handle("/metrics", [this](const net::HttpRequest&) {
+    return net::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             registry_.to_prometheus()};
+  });
+  server_.handle("/healthz", [](const net::HttpRequest&) {
+    return net::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+  server_.handle("/readyz", [this](const net::HttpRequest&) {
     const bool ready = !options_.ready || options_.ready();
-    if (ready) return {200, "text/plain; charset=utf-8", "ready\n"};
-    return {503, "text/plain; charset=utf-8", "not ready\n"};
-  }
-  if (path == "/statusz") return {200, "application/json", status_json()};
-  if (path == "/tracez") {
+    if (ready) return net::HttpResponse{200, "text/plain; charset=utf-8", "ready\n"};
+    return net::HttpResponse{503, "text/plain; charset=utf-8", "not ready\n"};
+  });
+  server_.handle("/statusz", [this](const net::HttpRequest&) {
+    return net::HttpResponse{200, "application/json", status_json()};
+  });
+  server_.handle("/tracez", [this](const net::HttpRequest&) {
     if (tracer_ == nullptr) {
-      return {404, "text/plain; charset=utf-8", "no tracer attached\n"};
+      return net::HttpResponse{404, "text/plain; charset=utf-8",
+                               "no tracer attached\n"};
     }
-    return {200, "application/json", tracer_->to_tracez_json(options_.tracez_spans)};
-  }
-  return {404, "text/plain; charset=utf-8", "not found\n"};
+    return net::HttpResponse{200, "application/json",
+                             tracer_->to_tracez_json(options_.tracez_spans)};
+  });
 }
 
 std::string HttpExporter::status_json() const {
@@ -257,9 +73,9 @@ std::string HttpExporter::status_json() const {
   std::string out = "{\"service\":\"neat\",\"pid\":";
   out += std::to_string(::getpid());
   out += ",\"uptime_s\":";
-  out += json_number(uptime_s);
+  out += format_fixed(uptime_s, 3);
   out += ",\"requests_served\":";
-  out += std::to_string(served_.load(std::memory_order_relaxed));
+  out += std::to_string(requests_served());
   out += ",\"build\":{\"git_sha\":\"";
   out += json_escape(NEAT_GIT_SHA);
   out += "\",\"compiler\":\"";
@@ -276,22 +92,7 @@ std::string HttpExporter::status_json() const {
   return out;
 }
 
-std::string HttpExporter::render(const Response& r, bool include_body) {
-  std::string out = "HTTP/1.1 ";
-  out += std::to_string(r.code);
-  out += ' ';
-  out += reason_phrase(r.code);
-  out += "\r\nContent-Type: ";
-  out += r.content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(r.body.size());
-  out += "\r\nConnection: close\r\n\r\n";
-  if (include_body) out += r.body;
-  return out;
-}
-
 void HttpExporter::count_request(const std::string& path, int code) const {
-  served_.fetch_add(1, std::memory_order_relaxed);
   // Bound the label cardinality: only the fixed endpoint table appears as a
   // path label, anything else (including malformed requests) is "other".
   const bool known = path == "/metrics" || path == "/healthz" || path == "/readyz" ||

@@ -1,8 +1,9 @@
 // Embedded HTTP admin server — the pull half of the observability layer.
 //
-// A tiny dependency-free HTTP/1.1 server (POSIX sockets, blocking accept
-// loop on a background thread, a small bounded worker pool) that turns the
-// in-process registry + tracer into a live scrape plane:
+// A thin set of admin routes on the shared socket core net::HttpServer
+// (src/net/http_server.h), which was extracted from this class; the wire
+// behaviour is unchanged. The routes turn the in-process registry + tracer
+// into a live scrape plane:
 //
 //   GET /metrics   Prometheus text exposition of the backing Registry
 //   GET /healthz   liveness: 200 as long as the process serves requests
@@ -16,28 +17,24 @@
 // 405. Every response carries Content-Length and `Connection: close` and
 // the socket is closed after the write, so plain `curl` always terminates.
 //
-// Overload behaviour: accepted connections wait in a bounded queue; when it
-// is full the connection is closed immediately (load shedding, counted in
-// `neat_obs_http_connections_dropped_total`). Workers use short socket
-// timeouts so a stalled client can never wedge shutdown. stop() (also run
-// by the destructor) closes the listen socket, wakes the pool and joins
-// every thread — after it returns the port is free again.
+// Overload behaviour (inherited from the core): accepted connections wait
+// in a bounded queue; when it is full the connection is closed immediately
+// (load shedding, counted in `neat_obs_http_connections_dropped_total`).
+// Workers use short socket timeouts so a stalled client can never wedge
+// shutdown. stop() (also run by the destructor) closes the listen socket,
+// wakes the pool and joins every thread — after it returns the port is
+// free again.
 //
 // The server records its own traffic into the backing registry as
 // `neat_obs_http_requests_total{path=...,code=...}`.
 #pragma once
 
-#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
+#include "net/http_server.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -72,60 +69,42 @@ class HttpExporter {
   /// and must be thread-safe.
   explicit HttpExporter(Registry& registry, HttpExporterOptions options = {},
                         Tracer* tracer = nullptr);
-  ~HttpExporter();
+  ~HttpExporter() = default;
 
   HttpExporter(const HttpExporter&) = delete;
   HttpExporter& operator=(const HttpExporter&) = delete;
 
   /// Stops accepting, wakes and joins every thread, closes all sockets.
   /// Idempotent; after it returns the bound port is released.
-  void stop();
+  void stop() { server_.stop(); }
 
   /// The actually bound TCP port (resolves port 0 requests).
-  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
 
   /// Requests answered so far (any status code).
   [[nodiscard]] std::uint64_t requests_served() const {
-    return served_.load(std::memory_order_relaxed);
+    return server_.requests_served();
   }
 
   /// Dispatches one already-parsed request line to the endpoint table and
-  /// returns the full HTTP response bytes. Exposed for tests; `serve()`
-  /// paths go through exactly this.
+  /// returns the full HTTP response bytes. Exposed for tests; socket
+  /// connections go through exactly this.
   [[nodiscard]] std::string handle(const std::string& method,
-                                   const std::string& path) const;
+                                   const std::string& path) const {
+    return server_.handle_request(method, path);
+  }
 
  private:
-  struct Response {
-    int code{200};
-    std::string content_type{"text/plain; charset=utf-8"};
-    std::string body;
-  };
-
-  [[nodiscard]] Response dispatch(const std::string& path) const;
   [[nodiscard]] std::string status_json() const;
-  [[nodiscard]] static std::string render(const Response& r, bool include_body);
+  void register_routes();
   void count_request(const std::string& path, int code) const;
-
-  void accept_loop();
-  void worker_loop();
-  void serve_connection(int fd) const;
+  [[nodiscard]] net::HttpServerOptions server_options() const;
 
   Registry& registry_;
   Tracer* tracer_;
   HttpExporterOptions options_;
   std::chrono::steady_clock::time_point start_;
-  std::atomic<int> listen_fd_{-1};  ///< Written by stop() while the acceptor reads it.
-  std::uint16_t port_{0};
-  std::atomic<bool> stopping_{false};
-  mutable std::atomic<std::uint64_t> served_{0};
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  ///< Accepted fds waiting for a worker.
-
-  std::vector<std::thread> workers_;
-  std::thread acceptor_;  ///< Last member: started after all state.
+  net::HttpServer server_;  ///< Last member: routes reference the state above.
 };
 
 }  // namespace neat::obs
