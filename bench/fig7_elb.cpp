@@ -1,6 +1,6 @@
 // Figure 7 — effectiveness of the Phase 3 pruning ladder.
 //
-// Compares four opt-NEAT variants on the ATL (a) and SJ (b) datasets:
+// Compares five opt-NEAT variants on the ATL (a) and SJ (b) datasets:
 //   none         — opt-NEAT-Dijkstra: no prefilter, full shortest paths;
 //   ELB          — the paper's Euclidean lower bound (§III-C.3);
 //   ELB+landmark — ELB, then the ALT triangle-inequality bound, with the
@@ -8,7 +8,11 @@
 //                  potentials;
 //   ELB+CH       — ELB, with surviving pairs answered by the contraction
 //                  hierarchy's memoized upward labels (exact, same
-//                  clusters, a fraction of the settled nodes).
+//                  clusters, a fraction of the settled nodes);
+//   ELB+CHtable  — like ELB+CH, but each worker chunk's surviving pairs are
+//                  batched into one bucket-based many-to-many table fill
+//                  (roadnet::CHTableEngine) instead of per-pair label
+//                  merges. Same clusters, bit-identical pruning counters.
 // The paper's observations to reproduce: the Dijkstra variant's cost tracks
 // the *number of flows* (Table III), not the dataset size — visible in the
 // SJ series — and ELB removes most of the shortest-path work. The landmark
@@ -76,7 +80,15 @@ std::vector<Variant> variants() {
   // settled column isolates the per-query win of the hierarchy.
   Config elb_ch = elb_lm;
   elb_ch.refine.distance_engine = DistanceEngine::kCh;
-  return {{"none", none}, {"ELB", elb}, {"ELB+landmark", elb_lm}, {"ELB+CH", elb_ch}};
+  // The table rung batches each chunk's surviving endpoint pairs into one
+  // bucket fill; its sp-calls column counts table() fills, not searches.
+  Config elb_table = elb_lm;
+  elb_table.refine.distance_engine = DistanceEngine::kChTable;
+  return {{"none", none},
+          {"ELB", elb},
+          {"ELB+landmark", elb_lm},
+          {"ELB+CH", elb_ch},
+          {"ELB+CHtable", elb_table}};
 }
 
 /// Settled-node totals of the two accelerated rungs, accumulated across all
@@ -139,8 +151,9 @@ void run_city(const char* city, eval::ExperimentEnv& env, bench::BenchJson& json
 }  // namespace
 
 int main() {
-  eval::print_scale_banner(std::cout,
-                           "Figure 7: pruning ladder (none / ELB / ELB+landmark) in Phase 3");
+  eval::print_scale_banner(
+      std::cout,
+      "Figure 7: pruning ladder (none / ELB / ELB+landmark / ELB+CH / ELB+CHtable) in Phase 3");
   eval::ExperimentEnv& env = eval::ExperimentEnv::instance();
   bench::BenchJson json("fig7", env.object_scale(), env.network_scale());
   SettledTotals totals;

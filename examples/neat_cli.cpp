@@ -7,7 +7,7 @@
 //   $ ./neat_cli --network net.csv --trajectories trips.csv
 //                [--mode base|flow|opt] [--epsilon M] [--min-card N|auto]
 //                [--wq X --wk Y --wv Z] [--beta B] [--no-elb]
-//                [--landmarks N] [--distance-engine dijkstra|alt|ch]
+//                [--landmarks N] [--distance-engine dijkstra|alt|ch|ch-table]
 //                [--threads N] [--refine-threads N]
 //                [--metrics-out metrics.prom] [--trace-out trace.json]
 //                [--admin-port PORT] [--out prefix]
@@ -69,7 +69,7 @@ struct CliOptions {
             << "                [--mode base|flow|opt] [--epsilon METRES]\n"
             << "                [--min-card N|auto] [--wq X --wk Y --wv Z]\n"
             << "                [--beta B|inf] [--no-elb] [--landmarks N]\n"
-            << "                [--distance-engine dijkstra|alt|ch]\n"
+            << "                [--distance-engine dijkstra|alt|ch|ch-table]\n"
             << "                [--threads N] [--refine-threads N] [--out PREFIX]\n"
             << "                [--metrics-out FILE] [--trace-out FILE]\n"
             << "                [--admin-port PORT]\n"
@@ -131,7 +131,8 @@ CliOptions parse_args(int argc, char** argv) {
         if (v == "dijkstra") opt.config.refine.distance_engine = DistanceEngine::kDijkstra;
         else if (v == "alt") opt.config.refine.distance_engine = DistanceEngine::kAlt;
         else if (v == "ch") opt.config.refine.distance_engine = DistanceEngine::kCh;
-        else usage(str_cat("unknown distance engine '", v, "' (dijkstra|alt|ch)"));
+        else if (v == "ch-table") opt.config.refine.distance_engine = DistanceEngine::kChTable;
+        else usage(str_cat("unknown distance engine '", v, "' (dijkstra|alt|ch|ch-table)"));
       } else if (arg == "--metrics-out") {
         opt.metrics_out = next_value(i);
       } else if (arg == "--trace-out") {

@@ -62,7 +62,7 @@ struct SimOptions {
   std::cerr << "error: " << error << "\n\n"
             << "usage: neat_server_sim [--admin-port PORT] [--query-port PORT]\n"
             << "                       [--sample-period-ms MS] [--linger-s SECONDS]\n"
-            << "                       [--distance-engine dijkstra|alt|ch]\n"
+            << "                       [--distance-engine dijkstra|alt|ch|ch-table]\n"
             << "  --admin-port PORT       serve /metrics, /healthz, /readyz, /statusz\n"
             << "                          and /tracez on 127.0.0.1:PORT (0 = pick a\n"
             << "                          free port; omit for no admin server)\n"
@@ -109,7 +109,8 @@ SimOptions parse_args(int argc, char** argv) {
         if (v == "dijkstra") opt.engine = DistanceEngine::kDijkstra;
         else if (v == "alt") opt.engine = DistanceEngine::kAlt;
         else if (v == "ch") opt.engine = DistanceEngine::kCh;
-        else usage(str_cat("unknown distance engine '", v, "' (dijkstra|alt|ch)"));
+        else if (v == "ch-table") opt.engine = DistanceEngine::kChTable;
+        else usage(str_cat("unknown distance engine '", v, "' (dijkstra|alt|ch|ch-table)"));
       } else {
         usage(str_cat("unknown argument '", arg, "'"));
       }

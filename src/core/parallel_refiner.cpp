@@ -13,10 +13,10 @@
 namespace neat {
 
 namespace {
-// Pairs claimed per fetch_add. Large enough to amortize the atomic, small
-// enough that an unlucky worker stuck with expensive pairs cannot stall the
-// others at the end of the matrix.
-constexpr std::size_t kChunkPairs = 64;
+// Pairs claimed per fetch_add — Refiner::kPairChunk, the same granularity
+// the serial refiner walks, so chunk-dependent work (the kChTable batched
+// table fills) and all deterministic counters match at any thread count.
+constexpr std::size_t kChunkPairs = Refiner::kPairChunk;
 }  // namespace
 
 ParallelRefiner::ParallelRefiner(const roadnet::RoadNetwork& net, RefineConfig config)
@@ -43,13 +43,6 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
   const unsigned workers =
       static_cast<unsigned>(std::min<std::size_t>(threads, total_pairs));
 
-  // Recover (i, j) from the condensed index p = i*n - i*(i+1)/2 + (j-i-1)
-  // by walking rows; each chunk is contiguous, so the walk is amortized O(1)
-  // per pair.
-  const auto row_end = [&](std::size_t i) {
-    return (i + 1) * n - (i + 1) * (i + 2) / 2;
-  };
-
   std::atomic<std::size_t> next{0};
   std::vector<Phase3Output> counters(workers);
   std::vector<std::exception_ptr> errors(workers);
@@ -73,17 +66,10 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
           if (begin >= total_pairs) break;
           const std::size_t end = std::min(begin + kChunkPairs, total_pairs);
           claimed += end - begin;
-          std::size_t i = 0;
-          while (row_end(i) <= begin) ++i;
-          std::size_t j = i + 1 + (begin - (i * n - i * (i + 1) / 2));
-          for (std::size_t p = begin; p < end; ++p) {
-            pair_dist[p] =
-                refiner_.refine_pair_distance(flows[i], flows[j], ctx, local);
-            if (++j == n) {
-              ++i;
-              j = i + 1;
-            }
-          }
+          // One shared evaluation path with the serial refiner (including
+          // the kChTable per-chunk table batching); chunks never overlap, so
+          // the concurrent writes into pair_dist are disjoint.
+          refiner_.fill_pair_distances(flows, begin, end, ctx, pair_dist, local);
         }
         worker_span.arg("pairs_claimed", static_cast<std::uint64_t>(claimed));
         worker_span.arg("pairs_evaluated",
@@ -107,8 +93,8 @@ Phase3Output ParallelRefiner::refine(const std::vector<FlowCluster>& flows) cons
   Phase3Output out = refiner_.cluster_from_pair_distances(flows, pair_dist);
   // Counters are order-independent sums, so the totals match the serial run
   // exactly no matter how chunks were interleaved — except settled_nodes
-  // under the CH engine, where each worker's Query memoizes hub labels and
-  // the total therefore depends on how chunks land on workers.
+  // under the CH engines (kCh/kChTable), where each worker memoizes hub
+  // labels and the total therefore depends on how chunks land on workers.
   for (const Phase3Output& c : counters) {
     out.sp_computations += c.sp_computations;
     out.elb_pruned_pairs += c.elb_pruned_pairs;

@@ -87,7 +87,10 @@ void Refiner::set_ch_engine(std::shared_ptr<const roadnet::ChEngine> ch) {
 }
 
 const roadnet::ChEngine* Refiner::ch_engine() const {
-  if (config_.distance_engine != DistanceEngine::kCh) return nullptr;
+  if (config_.distance_engine != DistanceEngine::kCh &&
+      config_.distance_engine != DistanceEngine::kChTable) {
+    return nullptr;
+  }
   const std::lock_guard<std::mutex> lock(accel_mu_);
   if (!ch_) {
     // Undirected, metres — the same metric NodeDistanceOracle answers in.
@@ -97,8 +100,11 @@ const roadnet::ChEngine* Refiner::ch_engine() const {
 }
 
 Refiner::DistanceContext Refiner::make_context() const {
-  DistanceContext ctx{roadnet::NodeDistanceOracle(net_), std::nullopt};
-  if (const roadnet::ChEngine* ch = ch_engine()) ctx.ch.emplace(*ch);
+  DistanceContext ctx{roadnet::NodeDistanceOracle(net_)};
+  if (const roadnet::ChEngine* ch = ch_engine()) {
+    ctx.ch.emplace(*ch);
+    if (config_.distance_engine == DistanceEngine::kChTable) ctx.table.emplace(*ch);
+  }
   return ctx;
 }
 
@@ -203,23 +209,30 @@ double Refiner::flow_distance(const FlowCluster& a, const FlowCluster& b) const 
              : network_route_hausdorff(a, b, ctx, lm);
 }
 
-double Refiner::refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
-                                     DistanceContext& ctx, Phase3Output& counters) const {
+bool Refiner::pair_pruned(const FlowCluster& a, const FlowCluster& b,
+                          const roadnet::LandmarkOracle* lm,
+                          Phase3Output& counters) const {
   if (config_.use_elb && elb_key(a, b) > config_.epsilon) {
     // ELB: the true network distance can only be larger; prune without any
     // shortest-path computation.
     ++counters.elb_pruned_pairs;
-    return kInf;
+    return true;
   }
-  const roadnet::LandmarkOracle* lm = landmark_oracle();
   if (lm != nullptr && config_.distance_mode == FlowDistanceMode::kEndpoints &&
       landmark_hausdorff_bound(a, b, *lm) > config_.epsilon) {
     // Landmark (ALT) bound: admissible like ELB but follows network
     // geodesics, so it catches pairs whose straight-line distance is small
     // while every road route is long.
     ++counters.lm_pruned_pairs;
-    return kInf;
+    return true;
   }
+  return false;
+}
+
+double Refiner::refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
+                                     DistanceContext& ctx, Phase3Output& counters) const {
+  const roadnet::LandmarkOracle* lm = landmark_oracle();
+  if (pair_pruned(a, b, lm, counters)) return kInf;
   const std::size_t before = ctx.computations();
   const std::size_t before_settled = ctx.settled_nodes();
   const double d = config_.distance_mode == FlowDistanceMode::kEndpoints
@@ -229,6 +242,86 @@ double Refiner::refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
   counters.settled_nodes += ctx.settled_nodes() - before_settled;
   ++counters.pairs_evaluated;
   return d;
+}
+
+void Refiner::fill_pair_distances(const std::vector<FlowCluster>& flows, std::size_t begin,
+                                  std::size_t end, DistanceContext& ctx,
+                                  std::span<double> pair_dist,
+                                  Phase3Output& counters) const {
+  const std::size_t n = flows.size();
+  NEAT_EXPECT(pair_dist.size() == n * (n - 1) / 2 && end <= pair_dist.size(),
+              "fill_pair_distances: range must lie in the condensed matrix");
+  // Recover (i, j) from the condensed index p = i*n - i*(i+1)/2 + (j-i-1) by
+  // walking rows; the range is contiguous, so the walk is amortized O(1) per
+  // pair.
+  const auto row_end = [&](std::size_t i) { return (i + 1) * n - (i + 1) * (i + 2) / 2; };
+  std::size_t i = 0;
+  while (row_end(i) <= begin) ++i;
+  std::size_t j = i + 1 + (begin - (i * n - i * (i + 1) / 2));
+  const auto advance = [&] {
+    if (++j == n) {
+      ++i;
+      j = i + 1;
+    }
+  };
+
+  if (!ctx.table || config_.distance_mode != FlowDistanceMode::kEndpoints) {
+    for (std::size_t p = begin; p < end; ++p) {
+      pair_dist[p] = refine_pair_distance(flows[i], flows[j], ctx, counters);
+      advance();
+    }
+    return;
+  }
+
+  // Batched many-to-many path (kChTable, endpoint mode): apply the
+  // admissible prunes per pair, then answer every surviving pair's four
+  // endpoint legs from ONE table() fill over the chunk's endpoints (the
+  // table engine deduplicates shared junctions internally). Values are
+  // bit-identical to the per-pair path: the table resolves each cell by the
+  // same unpack-and-re-sum as ChEngine::Query, and under an ε bound a leg
+  // that bounds out is kInfDistance on both paths, so the assembled
+  // Hausdorff — and every merge decision downstream — cannot differ.
+  struct Survivor {
+    std::size_t p;
+    std::size_t a;
+    std::size_t b;
+  };
+  std::vector<Survivor> survivors;
+  survivors.reserve(end - begin);
+  const roadnet::LandmarkOracle* lm = landmark_oracle();
+  for (std::size_t p = begin; p < end; ++p) {
+    if (pair_pruned(flows[i], flows[j], lm, counters)) {
+      pair_dist[p] = kInf;
+    } else {
+      survivors.push_back(Survivor{p, i, j});
+    }
+    advance();
+  }
+  if (survivors.empty()) return;
+
+  ctx.table_sources.clear();
+  ctx.table_targets.clear();
+  for (const Survivor& s : survivors) {
+    ctx.table_sources.push_back(flows[s.a].start_junction());
+    ctx.table_sources.push_back(flows[s.a].end_junction());
+    ctx.table_targets.push_back(flows[s.b].start_junction());
+    ctx.table_targets.push_back(flows[s.b].end_junction());
+  }
+  const double bound = config_.bound_searches_at_epsilon ? config_.epsilon : kInf;
+  const std::size_t before = ctx.computations();
+  const std::size_t before_settled = ctx.settled_nodes();
+  ctx.table_cells.assign(ctx.table_sources.size() * ctx.table_targets.size(), kInf);
+  ctx.table->table(ctx.table_sources, ctx.table_targets, ctx.table_cells, bound);
+  counters.sp_computations += ctx.computations() - before;
+  counters.settled_nodes += ctx.settled_nodes() - before_settled;
+  const std::size_t stride = ctx.table_targets.size();
+  for (std::size_t k = 0; k < survivors.size(); ++k) {
+    const double* row1 = ctx.table_cells.data() + (2 * k) * stride;
+    const double* row2 = ctx.table_cells.data() + (2 * k + 1) * stride;
+    pair_dist[survivors[k].p] = hausdorff_from_parts(row1[2 * k], row1[2 * k + 1],
+                                                     row2[2 * k], row2[2 * k + 1]);
+    ++counters.pairs_evaluated;
+  }
 }
 
 Phase3Output Refiner::cluster_from_pair_distances(
@@ -339,11 +432,12 @@ Phase3Output Refiner::refine(const std::vector<FlowCluster>& flows) const {
   std::vector<double> pair_dist(n * (n - 1) / 2);
   {
     obs::ScopedSpan pairs_span("phase3.pair_distances");
-    std::size_t p = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        pair_dist[p++] = refine_pair_distance(flows[i], flows[j], ctx, counters);
-      }
+    // Same kPairChunk walk the parallel workers claim, so chunk-dependent
+    // work (the kChTable batching) and every deterministic counter match
+    // ParallelRefiner bit for bit.
+    for (std::size_t begin = 0; begin < pair_dist.size(); begin += kPairChunk) {
+      fill_pair_distances(flows, begin, std::min(begin + kPairChunk, pair_dist.size()),
+                          ctx, pair_dist, counters);
     }
     pairs_span.arg("pairs", static_cast<std::uint64_t>(pair_dist.size()));
     pairs_span.arg("elb_pruned", static_cast<std::uint64_t>(counters.elb_pruned_pairs));

@@ -32,6 +32,7 @@
 
 #include "core/flow_cluster.h"
 #include "roadnet/ch_engine.h"
+#include "roadnet/ch_table.h"
 #include "roadnet/road_network.h"
 #include "roadnet/shortest_path.h"
 
@@ -62,6 +63,12 @@ enum class DistanceEngine {
   /// bidirectional upward searches that settle orders of magnitude fewer
   /// nodes per query (roadnet::ChEngine).
   kCh,
+  /// CH plus bucket-based many-to-many tables (roadnet::CHTableEngine): the
+  /// endpoint-mode refiner batches each chunk's surviving pairs into one
+  /// table() fill — O(endpoints) upward searches instead of O(pairs) label
+  /// merges. Distances, and therefore clusters, stay bit-identical to every
+  /// other rung; full-route mode falls back to per-pair CH queries.
+  kChTable,
 };
 
 /// Parameters of Phase 3.
@@ -167,19 +174,38 @@ class Refiner {
   // --- building blocks shared with ParallelRefiner ---------------------------
 
   /// Per-thread distance-evaluation workspace: a Dijkstra/ALT oracle plus,
-  /// under DistanceEngine::kCh, a query head bound to the shared hierarchy.
-  /// Obtain via make_context(); not thread safe, create one per thread.
+  /// under DistanceEngine::kCh/kChTable, a query head (and for kChTable a
+  /// table engine) bound to the shared hierarchy. Obtain via make_context();
+  /// not thread safe, create one per thread.
   struct DistanceContext {
     roadnet::NodeDistanceOracle oracle;
     std::optional<roadnet::ChEngine::Query> ch;
+    std::optional<roadnet::CHTableEngine> table;
+    // Batched-table scratch of fill_pair_distances, reused across chunks.
+    // Kept beside the engines so the spans handed to table() are per-thread
+    // and provably disjoint from the shared condensed matrix.
+    std::vector<NodeId> table_sources;
+    std::vector<NodeId> table_targets;
+    std::vector<double> table_cells;
 
     [[nodiscard]] std::size_t computations() const {
-      return oracle.computations() + (ch ? ch->computations() : 0);
+      return oracle.computations() + (ch ? ch->computations() : 0) +
+             (table ? table->computations() : 0);
     }
     [[nodiscard]] std::size_t settled_nodes() const {
-      return oracle.settled_nodes() + (ch ? ch->settled_nodes() : 0);
+      return oracle.settled_nodes() + (ch ? ch->settled_nodes() : 0) +
+             (table ? table->settled_nodes() : 0);
     }
   };
+
+  /// Pairs per fill_pair_distances() chunk, shared by the serial refiner's
+  /// loop and ParallelRefiner's work claiming. One constant keeps the chunk
+  /// boundaries — and with them the kChTable batching and every
+  /// deterministic counter — identical at any thread count. Large enough to
+  /// amortize the claim atomic and the per-chunk table fill, small enough
+  /// that an unlucky worker stuck with expensive pairs cannot stall the
+  /// others at the end of the matrix.
+  static constexpr std::size_t kPairChunk = 64;
 
   /// Builds a workspace for the configured engine. Under kCh this triggers
   /// the (thread-safe, once-only) lazy hierarchy build.
@@ -193,6 +219,18 @@ class Refiner {
   [[nodiscard]] double refine_pair_distance(const FlowCluster& a, const FlowCluster& b,
                                             DistanceContext& ctx,
                                             Phase3Output& counters) const;
+
+  /// Evaluates the condensed-matrix entries [begin, end) into the matching
+  /// slots of `pair_dist` (the FULL condensed matrix span; entries outside
+  /// the range are untouched). The one pair-evaluation code path of both
+  /// refiners: the serial refine() walks it chunk by chunk and
+  /// ParallelRefiner's workers claim chunks concurrently, so prune and
+  /// computation counters are bit-identical at any thread count. Under
+  /// kChTable (endpoint mode) the chunk's surviving pairs are answered by a
+  /// single CHTableEngine::table() fill over their deduplicated endpoints.
+  void fill_pair_distances(const std::vector<FlowCluster>& flows, std::size_t begin,
+                           std::size_t end, DistanceContext& ctx,
+                           std::span<double> pair_dist, Phase3Output& counters) const;
 
   /// The deterministic DBSCAN merge over a precomputed condensed pair
   /// distance matrix: entry for pair (i, j), i < j, lives at index
@@ -210,18 +248,23 @@ class Refiner {
   [[nodiscard]] const roadnet::LandmarkOracle* landmark_oracle() const;
 
   /// Pre-seeds the contraction hierarchy (e.g. to amortize one build across
-  /// refiners or batches). Ignored unless distance_engine is kCh; the
-  /// engine must be undirected over the same network.
+  /// refiners or batches). Ignored unless distance_engine is kCh/kChTable;
+  /// the engine must be undirected over the same network.
   void set_ch_engine(std::shared_ptr<const roadnet::ChEngine> ch);
 
   /// The hierarchy used by this refiner: nullptr unless distance_engine is
-  /// kCh, otherwise the seeded or lazily built instance. Thread safe.
+  /// kCh/kChTable, otherwise the seeded or lazily built instance. Thread safe.
   [[nodiscard]] const roadnet::ChEngine* ch_engine() const;
 
   [[nodiscard]] const RefineConfig& config() const { return config_; }
   [[nodiscard]] const roadnet::RoadNetwork& network() const { return net_; }
 
  private:
+  /// Applies the admissible ELB and landmark prunes to one pair, bumping the
+  /// matching counter. True = pruned (the pair's distance is > ε without any
+  /// shortest-path work).
+  bool pair_pruned(const FlowCluster& a, const FlowCluster& b,
+                   const roadnet::LandmarkOracle* lm, Phase3Output& counters) const;
   double network_hausdorff(const FlowCluster& a, const FlowCluster& b, DistanceContext& ctx,
                            const roadnet::LandmarkOracle* lm) const;
   double network_route_hausdorff(const FlowCluster& a, const FlowCluster& b,

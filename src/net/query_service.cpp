@@ -98,6 +98,56 @@ std::string json_int_array(const std::vector<std::uint32_t>& values) {
   return out;
 }
 
+/// Required comma-separated junction-id list ("0,5,12"): every element must
+/// parse as an integer and name an existing node, and the list must be
+/// non-empty — an empty table has no meaningful answer over HTTP.
+std::vector<NodeId> require_node_list(const HttpRequest& req, const char* key,
+                                      std::size_t node_count) {
+  const std::string* raw = req.param(key);
+  if (raw == nullptr) {
+    throw RequestError{400, "missing_parameter",
+                       str_cat("required parameter '", key, "' is missing")};
+  }
+  if (trim(*raw).empty()) {
+    throw RequestError{400, "invalid_parameter",
+                       str_cat("parameter '", key, "' must list at least one junction")};
+  }
+  std::vector<NodeId> nodes;
+  for (const std::string& field : split(*raw, ',')) {
+    const std::string_view token = trim(field);
+    std::int64_t v = 0;
+    try {
+      v = parse_int(token);
+    } catch (const ParseError&) {
+      throw RequestError{400, "invalid_parameter",
+                         str_cat("parameter '", key,
+                                 "' must be a comma-separated list of junction ids; '",
+                                 std::string(token), "' is not an integer")};
+    }
+    if (v < 0 || v >= static_cast<std::int64_t>(node_count)) {
+      throw RequestError{404, "unknown_node",
+                         str_cat("node ", v, " does not exist (network has ",
+                                 node_count, " junctions)")};
+    }
+    nodes.push_back(NodeId(static_cast<std::int32_t>(v)));
+  }
+  if (nodes.empty()) {
+    throw RequestError{400, "invalid_parameter",
+                       str_cat("parameter '", key, "' must list at least one junction")};
+  }
+  return nodes;
+}
+
+std::string json_node_array(const std::vector<NodeId>& nodes) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(nodes[i].value());
+  }
+  out += ']';
+  return out;
+}
+
 }  // namespace
 
 QueryService::QueryService(const roadnet::RoadNetwork& net,
@@ -111,12 +161,14 @@ QueryService::QueryService(const roadnet::RoadNetwork& net,
       nearest_ep_(make_endpoint("net.nearest", "nearest")),
       segment_ep_(make_endpoint("net.segment", "segment")),
       topk_ep_(make_endpoint("net.topk", "topk")),
-      route_ep_(make_endpoint("net.route", "route")) {
+      route_ep_(make_endpoint("net.route", "route")),
+      table_ep_(make_endpoint("net.table", "table")) {
   NEAT_EXPECT(options_.default_radius_m > 0.0, "default_radius_m must be positive");
   NEAT_EXPECT(options_.max_radius_m >= options_.default_radius_m,
               "max_radius_m must cover default_radius_m");
   NEAT_EXPECT(options_.default_k >= 1 && options_.default_k <= options_.max_k,
               "default_k must be in [1, max_k]");
+  NEAT_EXPECT(options_.max_table_cells >= 1, "max_table_cells must be at least 1");
   registry_.set_help("neat_net_request_seconds",
                      "Query-plane request latency by endpoint.");
   registry_.set_help("neat_net_errors_total",
@@ -136,6 +188,7 @@ void QueryService::register_routes(HttpServer& server) {
   server.handle("/v1/segment", [this](const HttpRequest& req) { return segment(req); });
   server.handle("/v1/topk", [this](const HttpRequest& req) { return topk(req); });
   server.handle("/v1/route", [this](const HttpRequest& req) { return route(req); });
+  server.handle("/v1/table", [this](const HttpRequest& req) { return table(req); });
 }
 
 template <class Fn>
@@ -285,6 +338,68 @@ HttpResponse QueryService::route(const HttpRequest& req) const {
                      ",\"travel_time_s\":", format_fixed(planned->travel_time, 3),
                      ",\"segments\":", json_int_array(segments),
                      ",\"nodes\":", json_int_array(nodes), "}"));
+  });
+}
+
+HttpResponse QueryService::table(const HttpRequest& req) const {
+  return answer(table_ep_, req, [&](std::uint64_t trace_id) {
+    const std::vector<NodeId> sources =
+        require_node_list(req, "sources", net_.node_count());
+    const std::vector<NodeId> targets =
+        require_node_list(req, "targets", net_.node_count());
+    const std::size_t cells = sources.size() * targets.size();
+    if (cells > options_.max_table_cells) {
+      throw RequestError{
+          400, "table_too_large",
+          str_cat("table of ", sources.size(), " x ", targets.size(), " = ", cells,
+                  " cells exceeds the cap of ", options_.max_table_cells)};
+    }
+    double bound = roadnet::kInfDistance;
+    if (req.param("bound") != nullptr) {
+      bound = require_double(req, "bound");
+      if (bound <= 0.0) {
+        throw RequestError{400, "invalid_parameter",
+                           "parameter 'bound' must be positive"};
+      }
+    }
+    // Same plane-readiness gate as the other endpoints: a server whose store
+    // has never published is not serving traffic yet, and answering tables
+    // from it would hide the operational problem.
+    if (engine_.snapshot() == nullptr) {
+      throw RequestError{503, "no_snapshot", "no cluster snapshot published yet"};
+    }
+
+    std::vector<double> distances(cells);
+    {
+      const std::lock_guard<std::mutex> lock(table_mu_);
+      if (!table_engine_) {
+        // First table request pays the one-time hierarchy build (undirected,
+        // metres — the Phase 3 metric the flow map itself is clustered in).
+        table_ch_ = std::make_unique<const roadnet::ChEngine>(net_);
+        table_engine_ = std::make_unique<roadnet::CHTableEngine>(*table_ch_);
+      }
+      table_engine_->table(sources, targets, distances, bound);
+    }
+
+    std::string body = str_cat("{\"trace_id\":", trace_id,
+                               ",\"sources\":", json_node_array(sources),
+                               ",\"targets\":", json_node_array(targets),
+                               ",\"distances_m\":[");
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (i > 0) body += ',';
+      body += '[';
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        if (k > 0) body += ',';
+        const double d = distances[i * targets.size() + k];
+        // Unreachable (or beyond the bound) cells are JSON null: every
+        // consumer — including `python3 -m json.tool` in CI — can parse the
+        // body without an out-of-band infinity convention.
+        body += d == roadnet::kInfDistance ? "null" : format_fixed(d, 3);
+      }
+      body += ']';
+    }
+    body += "]}";
+    return json_response(200, std::move(body));
   });
 }
 

@@ -9,11 +9,21 @@
 //   GET /v1/segment?sid=[&trace_id=]              flows through a segment
 //   GET /v1/topk[?k=][&trace_id=]                 densest flows
 //   GET /v1/route?from=&to=[&trace_id=]           directed shortest route
+//   GET /v1/table?sources=&targets=[&bound=][&trace_id=]
+//                                                 many-to-many distance table
+//
+// /v1/table takes comma-separated junction id lists and answers the full
+// sources x targets matrix of undirected network distances (metres, the
+// Phase 3 metric) from one bucket-based CH fill (roadnet::CHTableEngine);
+// unreachable or beyond-`bound` cells are JSON null. The matrix size is
+// capped (QueryServiceOptions::max_table_cells, answering 400
+// `table_too_large`) because response size and fill work grow with it.
 //
 // Every response is JSON. Errors are structured, machine-readable objects
 // `{"error":"<code>","detail":"<human text>"}`:
 //   400  missing_parameter / invalid_parameter — strict validation: every
 //        parameter must parse, radii and k must be within configured caps;
+//        table_too_large (sources x targets above the cap);
 //   404  unknown_segment / unknown_node (well-formed but nonexistent id),
 //        no_flow (nothing within the radius), unreachable (no route);
 //   503  no_snapshot (the store has never published — queries against an
@@ -39,11 +49,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 
 #include "net/http_server.h"
 #include "obs/registry.h"
+#include "roadnet/ch_table.h"
 #include "serve/query_engine.h"
 #include "sim/trip_planner.h"
 
@@ -59,6 +71,10 @@ struct QueryServiceOptions {
   std::size_t default_k{10};
   /// Largest accepted /v1/topk k.
   std::size_t max_k{1000};
+  /// Largest accepted /v1/table matrix (sources x targets cells): both the
+  /// response body and the fill work grow with the product, so oversized
+  /// requests answer 400 table_too_large instead of stalling a worker.
+  std::size_t max_table_cells{4096};
 };
 
 /// The /v1/* endpoint family. Keeps references to `net`, `engine`,
@@ -73,7 +89,7 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Registers the four /v1/* routes on `server` (before server.start()).
+  /// Registers the five /v1/* routes on `server` (before server.start()).
   /// Attach the same registry to the server's options to get the
   /// neat_net_requests_total / neat_net_shed_total counters alongside the
   /// service's per-endpoint series.
@@ -85,6 +101,7 @@ class QueryService {
   [[nodiscard]] HttpResponse segment(const HttpRequest& req) const;
   [[nodiscard]] HttpResponse topk(const HttpRequest& req) const;
   [[nodiscard]] HttpResponse route(const HttpRequest& req) const;
+  [[nodiscard]] HttpResponse table(const HttpRequest& req) const;
 
  private:
   /// Per-endpoint cached registry series (creation is the cold path).
@@ -106,10 +123,18 @@ class QueryService {
   obs::Registry& registry_;
   QueryServiceOptions options_;
   mutable std::mutex planner_mu_;  ///< TripPlanner is stateful; serialize it.
+  /// /v1/table backend, built lazily on the first table request (an
+  /// undirected hierarchy over the whole network — a one-time cost most
+  /// deployments never pay) and serialized like the planner: the table
+  /// engine's label caches are stateful.
+  mutable std::mutex table_mu_;
+  mutable std::unique_ptr<const roadnet::ChEngine> table_ch_;
+  mutable std::unique_ptr<roadnet::CHTableEngine> table_engine_;
   Endpoint nearest_ep_;
   Endpoint segment_ep_;
   Endpoint topk_ep_;
   Endpoint route_ep_;
+  Endpoint table_ep_;
 };
 
 }  // namespace neat::net

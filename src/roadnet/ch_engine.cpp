@@ -313,36 +313,14 @@ void ChEngine::build_upward_graphs() {
 }
 
 // ---------------------------------------------------------------------------
-// Query
+// LabelBuilder / LabelCache
 // ---------------------------------------------------------------------------
 
-ChEngine::Query::Query(const ChEngine& engine)
+ChEngine::LabelBuilder::LabelBuilder(const ChEngine& engine)
     : ch_(engine), dist_(engine.n_, 0.0), stamp_(engine.n_, 0), parent_(engine.n_, -1) {}
 
-void ChEngine::Query::reset_counters() {
-  computations_ = 0;
-  settled_ = 0;
-}
-
-const ChEngine::Query::Label& ChEngine::Query::label(bool forward, std::int32_t src,
-                                                     double bound) {
-  // Undirected hierarchies are arc-symmetric (contract() inserts shortcut
-  // twins), so the backward label of a node carries the same (node, dist)
-  // set as its forward label — both directions share one cache and one
-  // build, halving the settled work of workloads that touch a node from
-  // both sides. collect_leaves() compensates for the flipped parent arcs.
-  const bool fwd_graph = forward || !ch_.opts_.directed;
-  auto& cache = fwd_graph ? fwd_labels_ : bwd_labels_;
-  const auto [it, inserted] = cache.try_emplace(src);
-  if (!inserted && it->second.bound >= bound) return it->second;
-  if (!inserted) {
-    // A later query wants a larger bound: rebuild from scratch. Workloads
-    // use one fixed bound (the refiner's ε, the planner's +inf), so this is
-    // the cold path.
-    cached_entries_ -= it->second.entries.size();
-    it->second.entries.clear();
-  }
-
+std::size_t ChEngine::LabelBuilder::build(bool fwd_graph, std::int32_t src, double bound,
+                                          Label& out_label) {
   // Upward Dijkstra from `src`, pruned at `bound`: every node whose upward
   // distance is within the bound is settled exactly, so any meet hub of a
   // shortest path <= bound survives in the label (both halves of an up-down
@@ -357,9 +335,9 @@ const ChEngine::Query::Label& ChEngine::Query::label(bool forward, std::int32_t 
                                                            : ch_.up_fwd_head_);
   const std::span<const UpArc> stall(fwd_graph ? ch_.up_rev_ : ch_.up_fwd_);
 
-  Label& lbl = it->second;
-  lbl.bound = bound;
-  std::vector<LabelEntry>& out = lbl.entries;
+  out_label.bound = bound;
+  std::vector<LabelEntry>& out = out_label.entries;
+  std::size_t settled = 0;
   ++gen_;
   dist_[static_cast<std::size_t>(src)] = 0.0;
   stamp_[static_cast<std::size_t>(src)] = gen_;
@@ -370,7 +348,7 @@ const ChEngine::Query::Label& ChEngine::Query::label(bool forward, std::int32_t 
     const auto [d, u] = heap.top();
     heap.pop();
     if (stamp_[u] != gen_ || d > dist_[u]) continue;  // stale entry
-    ++settled_;
+    ++settled;
     out.push_back(LabelEntry{u, d, parent_[u]});
     // Stall-on-demand: a higher-ranked node on the opposite side already
     // reaches u more cheaply, so no shortest up-down path climbs through u
@@ -412,16 +390,49 @@ const ChEngine::Query::Label& ChEngine::Query::label(bool forward, std::int32_t 
   }
   std::sort(out.begin(), out.end(),
             [](const LabelEntry& a, const LabelEntry& b) { return a.node < b.node; });
-  cached_entries_ += out.size();
-  return lbl;
+  return settled;
 }
 
-void ChEngine::Query::collect_leaves(const Label& fwd, const Label& bwd, std::int32_t meet,
-                                     std::vector<std::int32_t>& leaves) const {
+ChEngine::LabelCache::LabelCache(const ChEngine& engine) : ch_(engine) {}
+
+const ChEngine::Label& ChEngine::LabelCache::get(bool forward, std::int32_t src,
+                                                 double bound, LabelBuilder& builder,
+                                                 std::size_t& settled) {
+  // Undirected hierarchies share one cache across both directions — the
+  // backward label of a node carries the same (node, dist) set as its
+  // forward label, halving the settled work of workloads that touch a node
+  // from both sides. unpack_updown() compensates for the flipped parents.
+  const bool fwd_graph = forward || !ch_.opts_.directed;
+  auto& cache = fwd_graph ? fwd_labels_ : bwd_labels_;
+  const auto [it, inserted] = cache.try_emplace(src);
+  if (!inserted && it->second.bound >= bound) return it->second;
+  if (!inserted) {
+    // A later query wants a larger bound: rebuild from scratch. Workloads
+    // use one fixed bound (the refiner's ε, the planner's +inf), so this is
+    // the cold path.
+    cached_entries_ -= it->second.entries.size();
+    it->second.entries.clear();
+  }
+  settled += builder.build(fwd_graph, src, bound, it->second);
+  cached_entries_ += it->second.entries.size();
+  return it->second;
+}
+
+void ChEngine::LabelCache::maybe_evict() {
+  constexpr std::size_t kMaxCachedEntries = std::size_t{1} << 22;
+  if (cached_entries_ > kMaxCachedEntries) {
+    fwd_labels_.clear();
+    bwd_labels_.clear();
+    cached_entries_ = 0;
+  }
+}
+
+void ChEngine::unpack_updown(const Label& fwd, const Label& bwd, std::int32_t meet,
+                             std::vector<std::int32_t>& leaves) const {
   // Unpack a hierarchy arc into the base arcs it replaces, preserving
   // path order (left child first).
   const auto unpack = [&](auto&& self, std::int32_t ai) -> void {
-    const Arc& a = ch_.arcs_[static_cast<std::size_t>(ai)];
+    const Arc& a = arcs_[static_cast<std::size_t>(ai)];
     if (a.left < 0) {
       leaves.push_back(ai);
       return;
@@ -444,18 +455,18 @@ void ChEngine::Query::collect_leaves(const Label& fwd, const Label& bwd, std::in
     const std::int32_t ai = parent_of(fwd, u);
     if (ai < 0) break;
     fwd_chain.push_back(ai);
-    u = ch_.arcs_[static_cast<std::size_t>(ai)].from;
+    u = arcs_[static_cast<std::size_t>(ai)].from;
   }
   for (auto it = fwd_chain.rbegin(); it != fwd_chain.rend(); ++it) unpack(unpack, *it);
   // Backward half. Directed engines keep true backward labels: each parent
   // arc leads from the current node toward the target, so the walk already
   // emits arcs in apex -> t order.
-  if (ch_.opts_.directed) {
+  if (opts_.directed) {
     for (std::int32_t u = meet;;) {
       const std::int32_t ai = parent_of(bwd, u);
       if (ai < 0) break;
       unpack(unpack, ai);
-      u = ch_.arcs_[static_cast<std::size_t>(ai)].to;
+      u = arcs_[static_cast<std::size_t>(ai)].to;
     }
     return;
   }
@@ -470,8 +481,25 @@ void ChEngine::Query::collect_leaves(const Label& fwd, const Label& bwd, std::in
     const auto pre = static_cast<std::ptrdiff_t>(leaves.size());
     unpack(unpack, ai);
     std::reverse(leaves.begin() + pre, leaves.end());
-    u = ch_.arcs_[static_cast<std::size_t>(ai)].from;
+    u = arcs_[static_cast<std::size_t>(ai)].from;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Query
+// ---------------------------------------------------------------------------
+
+ChEngine::Query::Query(const ChEngine& engine)
+    : ch_(engine), builder_(engine), cache_(engine) {}
+
+void ChEngine::Query::reset_counters() {
+  computations_ = 0;
+  settled_ = 0;
+}
+
+const ChEngine::Label& ChEngine::Query::label(bool forward, std::int32_t src,
+                                              double bound) {
+  return cache_.get(forward, src, bound, builder_, settled_);
 }
 
 void ChEngine::Query::run_batch(NodeId s, std::span<const NodeId> targets,
@@ -483,13 +511,8 @@ void ChEngine::Query::run_batch(NodeId s, std::span<const NodeId> targets,
   ++computations_;
   std::fill(out.begin(), out.end(), kInfDistance);
   // Whole-cache eviction happens only between batches: merges below hold
-  // references into the maps.
-  constexpr std::size_t kMaxCachedEntries = std::size_t{1} << 22;
-  if (cached_entries_ > kMaxCachedEntries) {
-    fwd_labels_.clear();
-    bwd_labels_.clear();
-    cached_entries_ = 0;
-  }
+  // references into the cache.
+  cache_.maybe_evict();
   if (targets.empty()) return;
 
   const Label& fwd = label(/*forward=*/true, s.value(), bound);
@@ -516,7 +539,7 @@ void ChEngine::Query::run_batch(NodeId s, std::span<const NodeId> targets,
     // Resolve: unpack the winning up-down path and re-sum it sequentially
     // from s — the exact accumulation Dijkstra performs along that path.
     leaves_scratch_.clear();
-    collect_leaves(fwd, bwd, meet, leaves_scratch_);
+    ch_.unpack_updown(fwd, bwd, meet, leaves_scratch_);
     double total = 0.0;
     for (const std::int32_t ai : leaves_scratch_) {
       total += ch_.arcs_[static_cast<std::size_t>(ai)].w;

@@ -59,10 +59,77 @@ struct ChOptions {
   int witness_settle_limit{64};
 };
 
+class CHTableEngine;
+
 /// Exact shortest-distance engine with Contraction Hierarchies preprocessing.
 class ChEngine {
  public:
   using Options = ChOptions;
+
+  /// One settled node of an upward search: its exact upward distance from
+  /// the label's endpoint and the hierarchy arc it was reached through
+  /// (-1 at the endpoint itself). Sorted by node id for merge scans.
+  struct LabelEntry {
+    std::int32_t node;
+    double dist;
+    std::int32_t parent;
+  };
+  /// A memoized upward search, valid for any query bound <= `bound`.
+  struct Label {
+    double bound{0.0};
+    std::vector<LabelEntry> entries;
+  };
+
+  /// Reusable upward-search workspace: the bounded upward Dijkstra with
+  /// stall-on-demand that both Query and CHTableEngine run. Sharing one
+  /// implementation is what makes the table engine's entries bit-identical
+  /// to Query's — there is only one label construction in the codebase.
+  /// Not thread safe; create one per thread.
+  class LabelBuilder {
+   public:
+    explicit LabelBuilder(const ChEngine& engine);
+
+    /// Runs the upward Dijkstra from `src` on the forward (`fwd_graph`) or
+    /// reverse upward graph, pruned at `bound`, and overwrites `out` with
+    /// the settled entries sorted by node id. Returns the settled count.
+    std::size_t build(bool fwd_graph, std::int32_t src, double bound, Label& out);
+
+   private:
+    const ChEngine& ch_;
+    // Generation-stamped scratch, reused across builds.
+    std::vector<double> dist_;
+    std::vector<std::uint32_t> stamp_;
+    std::vector<std::int32_t> parent_;
+    std::uint32_t gen_{0};
+  };
+
+  /// Memoized upward labels keyed by endpoint node, built out to the
+  /// requested bound and rebuilt only when a later call asks for a larger
+  /// one. Undirected hierarchies are arc-symmetric (contract() inserts
+  /// shortcut twins), so the backward label of a node carries the same
+  /// (node, dist) set as its forward label — both directions share one
+  /// cache and one build. unpack_updown() compensates for the flipped
+  /// parent arcs. Not thread safe.
+  class LabelCache {
+   public:
+    explicit LabelCache(const ChEngine& engine);
+
+    /// Cached upward label of `src`, built via `builder` on a miss (or on a
+    /// larger bound); settled nodes of any build are added to `settled`.
+    const Label& get(bool forward, std::int32_t src, double bound,
+                     LabelBuilder& builder, std::size_t& settled);
+    /// Whole-cache eviction once the entry budget is exhausted (keeps
+    /// unbounded query streams from growing without limit; correctness
+    /// never depends on a hit). Call only between batches: merges hold
+    /// references into the cache.
+    void maybe_evict();
+
+   private:
+    const ChEngine& ch_;
+    std::unordered_map<std::int32_t, Label> fwd_labels_;
+    std::unordered_map<std::int32_t, Label> bwd_labels_;
+    std::size_t cached_entries_{0};
+  };
 
   /// Preprocesses the network. Throws neat::PreconditionError on an empty
   /// network. Keeps a reference to `net`; do not outlive it.
@@ -117,43 +184,15 @@ class ChEngine {
     void reset_counters();
 
    private:
-    /// One settled node of an upward search: its exact upward distance from
-    /// the label's endpoint and the hierarchy arc it was reached through
-    /// (-1 at the endpoint itself). Sorted by node id for merge scans.
-    struct LabelEntry {
-      std::int32_t node;
-      double dist;
-      std::int32_t parent;
-    };
-    /// A memoized upward search, valid for any query bound <= `bound`.
-    struct Label {
-      double bound{0.0};
-      std::vector<LabelEntry> entries;
-    };
-
     void run_batch(NodeId s, std::span<const NodeId> targets, std::span<double> out,
                    double bound, std::vector<std::int32_t>* leaves_of_first);
     /// Cached upward label of `src` (forward = relax up_fwd_, stall via
     /// up_rev_; backward the mirror), built out to at least `bound`.
-    /// Computes and memoizes on first touch; rebuilds on a larger bound.
     const Label& label(bool forward, std::int32_t src, double bound);
-    /// Arena arcs of the up-down path through `meet`, unpacked into base
-    /// arcs in s -> t order.
-    void collect_leaves(const Label& fwd, const Label& bwd, std::int32_t meet,
-                        std::vector<std::int32_t>& leaves) const;
 
     const ChEngine& ch_;
-    // Upward-search scratch (generation-stamped, reused across label builds).
-    std::vector<double> dist_;
-    std::vector<std::uint32_t> stamp_;
-    std::vector<std::int32_t> parent_;
-    std::uint32_t gen_{0};
-    // Memoized labels, keyed by endpoint node. Cleared wholesale when the
-    // entry budget is exhausted (keeps unbounded query streams from growing
-    // without limit; correctness never depends on a hit).
-    std::unordered_map<std::int32_t, Label> fwd_labels_;
-    std::unordered_map<std::int32_t, Label> bwd_labels_;
-    std::size_t cached_entries_{0};
+    LabelBuilder builder_;
+    LabelCache cache_;
     std::vector<std::int32_t> leaves_scratch_;
     std::vector<double> any_scratch_;
     std::size_t computations_{0};
@@ -162,6 +201,15 @@ class ChEngine {
 
  private:
   friend class Query;
+  friend class LabelBuilder;
+  friend class LabelCache;
+  friend class CHTableEngine;
+
+  /// Arena arcs of the up-down path through `meet`, unpacked into base arcs
+  /// in s -> t order. `bwd` is a true backward label in directed mode and a
+  /// forward label from the target otherwise (see LabelCache).
+  void unpack_updown(const Label& fwd, const Label& bwd, std::int32_t meet,
+                     std::vector<std::int32_t>& leaves) const;
 
   /// One arc of the hierarchy. Base arcs carry the directed edge they came
   /// from (invalid in undirected mode); shortcuts carry the two arcs they

@@ -1,6 +1,6 @@
 // Tests for the public /v1/* query plane (src/net/query_service.*).
 //
-// The response bodies of all four endpoints are pinned by golden JSON files
+// The response bodies of all five endpoints are pinned by golden JSON files
 // under tests/data/: the wire format is a public contract, so any field
 // rename, reordering or numeric-formatting drift must show up as a diff. To
 // regenerate after an *intentional* schema change:
@@ -144,6 +144,71 @@ TEST(QueryService, RouteMatchesGolden) {
   expect_matches_golden(r.body, "query_route.golden.json");
 }
 
+TEST(QueryService, TableMatchesGolden) {
+  Fixture fx;
+  // All of n0's distances run through the star hub n1 (200 m), so the 150 m
+  // bound turns its whole row into JSON nulls while n1's row stays finite —
+  // the golden pins both the number formatting and the null convention.
+  const HttpResponse r = fx.service.table(request({{"sources", "0,1"},
+                                                   {"targets", "2,3,4"},
+                                                   {"bound", "150"},
+                                                   {"trace_id", "42"}}));
+  EXPECT_EQ(r.code, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  expect_matches_golden(r.body, "query_table.golden.json");
+}
+
+TEST(QueryService, TableValidatesListsBoundAndSize) {
+  Fixture fx;
+  const auto expect_code = [](const HttpResponse& r, int code, const char* error) {
+    EXPECT_EQ(r.code, code);
+    EXPECT_NE(r.body.find(std::string("\"error\":\"") + error + "\""),
+              std::string::npos)
+        << r.body;
+  };
+  expect_code(fx.service.table(request({{"targets", "1"}})), 400,
+              "missing_parameter");
+  expect_code(fx.service.table(request({{"sources", "0"}})), 400,
+              "missing_parameter");
+  expect_code(fx.service.table(request({{"sources", ""}, {"targets", "1"}})), 400,
+              "invalid_parameter");
+  expect_code(fx.service.table(request({{"sources", "0,abc"}, {"targets", "1"}})),
+              400, "invalid_parameter");
+  expect_code(
+      fx.service.table(request({{"sources", "0"}, {"targets", "1"}, {"bound", "0"}})),
+      400, "invalid_parameter");
+  expect_code(fx.service.table(
+                  request({{"sources", "0"}, {"targets", "1"}, {"bound", "x"}})),
+              400, "invalid_parameter");
+  // Well-formed ids beyond the network answer 404, mirroring /v1/route.
+  expect_code(fx.service.table(request({{"sources", "99"}, {"targets", "1"}})), 404,
+              "unknown_node");
+  expect_code(fx.service.table(request({{"sources", "0"}, {"targets", "0,-1"}})),
+              404, "unknown_node");
+}
+
+TEST(QueryService, OversizedTableAnswers400NotATimeout) {
+  // A deliberately tiny cap: the 2 x 3 request is over it, and the error
+  // detail names the arithmetic so a client can right-size its batches.
+  roadnet::RoadNetwork net = testutil::fig1_network();
+  serve::SnapshotStore store;
+  store.publish(serve::ClusterSnapshot::build(net, Fixture::flows(),
+                                              Fixture::finals(), 7));
+  const serve::QueryEngine engine(net, store);
+  obs::Registry registry;
+  QueryServiceOptions opts;
+  opts.max_table_cells = 4;
+  const QueryService service(net, engine, nullptr, registry, opts);
+
+  const HttpResponse r =
+      service.table(request({{"sources", "0,1"}, {"targets", "2,3,4"}}));
+  EXPECT_EQ(r.code, 400);
+  EXPECT_NE(r.body.find("\"error\":\"table_too_large\""), std::string::npos) << r.body;
+  EXPECT_NE(r.body.find("2 x 3 = 6"), std::string::npos) << r.body;
+  EXPECT_EQ(service.table(request({{"sources", "0,1"}, {"targets", "2,3"}})).code,
+            200);
+}
+
 TEST(QueryService, NeverPublishedStoreAnswers503NotEmpty200) {
   // Regression: before the first publish the engine's snapshot() is null and
   // every snapshot-backed endpoint must answer an operational 503 with a
@@ -158,7 +223,8 @@ TEST(QueryService, NeverPublishedStoreAnswers503NotEmpty200) {
   for (const HttpResponse& r :
        {service.nearest(request({{"x", "50"}, {"y", "5"}})),
         service.segment(request({{"sid", "0"}})),
-        service.topk(request({}))}) {
+        service.topk(request({})),
+        service.table(request({{"sources", "0"}, {"targets", "1"}}))}) {
     EXPECT_EQ(r.code, 503);
     EXPECT_EQ(r.content_type, "application/json");
     EXPECT_NE(r.body.find("\"error\":\"no_snapshot\""), std::string::npos) << r.body;
@@ -306,6 +372,10 @@ TEST(QueryService, ServesOverHttpThroughRegisteredRoutes) {
 
   EXPECT_EQ(http_get(server.port(), "/v1/topk?k=0").code, 400);
   EXPECT_EQ(http_get(server.port(), "/v1/route?from=0&to=2").code, 200);
+  const HttpResult table = http_get(
+      server.port(), "/v1/table?sources=0,1&targets=2,3,4&bound=150&trace_id=42");
+  EXPECT_EQ(table.code, 200);
+  EXPECT_EQ(table.body, read_file(data_path("query_table.golden.json")));
   EXPECT_EQ(http_get(server.port(), "/v1/other").code, 404);
   // The shared registry carries both the service's and the server's series.
   EXPECT_GE(fx.registry.counter_value("neat_net_requests_total",

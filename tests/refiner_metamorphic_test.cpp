@@ -5,6 +5,9 @@
 //  * Pruning: ELB and landmark pruning on/off in every combination leaves
 //    the merge decisions unchanged — only pairs_evaluated / sp_computations
 //    may shrink when a prune is active.
+//  * Distance engine: every rung of the ladder (Dijkstra / ALT / CH /
+//    CH many-to-many table) yields identical clusters and identical
+//    engine-invariant pruning counters, at 1, 2 and 8 refine threads.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -161,6 +164,56 @@ TEST(PruningMetamorphic, BoundedSearchesMatchUnbounded) {
   const Phase3Output a = Refiner(w.net, bounded).refine(w.flows);
   const Phase3Output b = Refiner(w.net, unbounded).refine(w.flows);
   expect_same_clusters(a, b, "bounded vs unbounded");
+}
+
+TEST(DistanceEngineMetamorphic, EngineAndThreadCountNeverChangeClusters) {
+  // The ladder contract across both axes at once: swapping the distance
+  // engine must never change the clustering, and within one engine the
+  // thread count must never change the counters either. The prune decisions
+  // (ELB, landmark) run before any engine touches a pair, so
+  // elb/lm_pruned/pairs_evaluated are engine-invariant; sp_computations and
+  // settled_nodes are work proxies with engine-specific units (the table
+  // rung counts bucket fills, not searches) and are only compared within an
+  // engine.
+  const Workload w = make_workload(10, 10, 83, 89, 60);
+  ASSERT_GT(w.flows.size(), 3u);
+
+  RefineConfig base;
+  base.epsilon = 500.0;
+  base.use_landmarks = true;
+  const Phase3Output reference = Refiner(w.net, base).refine(w.flows);
+
+  for (const DistanceEngine engine :
+       {DistanceEngine::kDijkstra, DistanceEngine::kAlt, DistanceEngine::kCh,
+        DistanceEngine::kChTable}) {
+    RefineConfig cfg = base;
+    cfg.distance_engine = engine;
+    const Phase3Output serial = Refiner(w.net, cfg).refine(w.flows);
+    const char* what = engine == DistanceEngine::kChTable ? "ch-table" : "engine";
+    expect_same_clusters(reference, serial, what);
+    EXPECT_EQ(serial.elb_pruned_pairs, reference.elb_pruned_pairs) << what;
+    EXPECT_EQ(serial.lm_pruned_pairs, reference.lm_pruned_pairs) << what;
+    EXPECT_EQ(serial.pairs_evaluated, reference.pairs_evaluated) << what;
+
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      RefineConfig pcfg = cfg;
+      pcfg.threads = threads;
+      const Phase3Output parallel = ParallelRefiner(w.net, pcfg).refine(w.flows);
+      expect_same_clusters(serial, parallel, what);
+      EXPECT_EQ(parallel.sp_computations, serial.sp_computations) << what;
+      EXPECT_EQ(parallel.elb_pruned_pairs, serial.elb_pruned_pairs) << what;
+      EXPECT_EQ(parallel.lm_pruned_pairs, serial.lm_pruned_pairs) << what;
+      EXPECT_EQ(parallel.pairs_evaluated, serial.pairs_evaluated) << what;
+      // settled_nodes depends on which worker's memoized label cache each
+      // chunk lands in for the hub-label engines; it is thread-invariant
+      // only for the per-pair-independent rungs.
+      if (engine == DistanceEngine::kDijkstra || engine == DistanceEngine::kAlt) {
+        EXPECT_EQ(parallel.settled_nodes, serial.settled_nodes) << what;
+      } else {
+        EXPECT_GT(parallel.settled_nodes, 0u) << what;
+      }
+    }
+  }
 }
 
 TEST(ClustererWiring, RefineThreadsProduceIdenticalResults) {
