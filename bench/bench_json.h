@@ -10,6 +10,12 @@
 //    "repeats":3,"object_scale":0.1,"network_scale":1.0,
 //    "rows":[{"name":"MIA500","metrics":{"opt_s":0.123,...}},...]}
 //
+// Rows named *_profile carry no timing metrics but a "hot_symbols" array —
+// the top CPU symbols of one extra profiled repeat (src/obs/prof/), each
+// with its inclusive sample percentage. bench_diff.py ignores them (it
+// gates only *_s metrics), so hot-spot drift is visible in the trajectory
+// without ever failing a gate.
+//
 // Repeats: NEAT_BENCH_REPEATS (default 1) is how many times each measured
 // run executes; every metric value reported is the median over those runs,
 // so one background-noise spike cannot fail a CI gate.
@@ -25,7 +31,8 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
-#include "obs/trace.h"  // json_escape
+#include "obs/prof/profiler.h"  // HotSymbol
+#include "obs/trace.h"          // json_escape
 
 #ifndef NEAT_GIT_SHA
 #define NEAT_GIT_SHA "unknown"
@@ -62,7 +69,17 @@ class BenchJson {
   /// Appends one row; `metrics` values should already be medians.
   void add_row(const std::string& row_name,
                std::vector<std::pair<std::string, double>> metrics) {
-    rows_.push_back({row_name, std::move(metrics)});
+    rows_.push_back({row_name, std::move(metrics), {}});
+  }
+
+  /// Appends a hot-spot attribution row from one profiled repeat: the
+  /// top sampled symbols with their inclusive sample percentage. Serialized
+  /// as "hot_symbols":[{"symbol":...,"inclusive_pct":...},...] next to an
+  /// empty metrics object, so bench_diff (which gates only *_s metrics)
+  /// never fails on a profile row.
+  void add_profile_row(const std::string& row_name,
+                       const std::vector<obs::prof::HotSymbol>& symbols) {
+    rows_.push_back({row_name, {}, symbols});
   }
 
   /// Writes the payload to `path`; throws neat::Error when unwritable.
@@ -81,7 +98,18 @@ class BenchJson {
         out << '"' << obs::json_escape(rows_[r].metrics[m].first)
             << "\":" << format_metric(rows_[r].metrics[m].second);
       }
-      out << "}}";
+      out << '}';
+      if (!rows_[r].hot_symbols.empty()) {
+        out << ",\"hot_symbols\":[";
+        for (std::size_t s = 0; s < rows_[r].hot_symbols.size(); ++s) {
+          if (s > 0) out << ',';
+          out << "{\"symbol\":\"" << obs::json_escape(rows_[r].hot_symbols[s].symbol)
+              << "\",\"inclusive_pct\":"
+              << format_fixed(rows_[r].hot_symbols[s].inclusive_pct, 2) << '}';
+        }
+        out << ']';
+      }
+      out << '}';
     }
     out << "]}\n";
   }
@@ -90,6 +118,7 @@ class BenchJson {
   struct Row {
     std::string name;
     std::vector<std::pair<std::string, double>> metrics;
+    std::vector<obs::prof::HotSymbol> hot_symbols;
   };
 
   static std::string utc_timestamp() {

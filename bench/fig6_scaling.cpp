@@ -15,10 +15,12 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/clusterer.h"
 #include "eval/experiments.h"
 #include "eval/table.h"
+#include "obs/prof/profiler.h"
 #include "obs/registry.h"
 
 using namespace neat;
@@ -158,6 +160,29 @@ int main() {
   std::cout << "\n(shape to check: phase-3 time falls as threads rise — up to the\n"
                "hardware thread count above — while the cluster count stays constant\n"
                "because the parallel refiner is bit-identical to the serial one)\n";
+
+  // One extra repeat of the largest dataset under the sampling profiler —
+  // not timed (the profiled run is excluded from every *_s median above),
+  // just attributed: the top sampled symbols land in the trajectory JSON so
+  // hot-spot drift across commits is as visible as timing drift.
+  {
+    obs::prof::ProfilerOptions popts;
+    popts.sample_hz = 997;  // smoke-scale runs are short; sample densely
+    const obs::prof::Profile profile = obs::prof::profile_call(
+        [&] {
+          // Re-run until ~a quarter second of work has accumulated so the
+          // attribution is statistically meaningful even at smoke scale.
+          const Stopwatch sw;
+          do {
+            static_cast<void>(clusterer.run(big));
+          } while (sw.elapsed_seconds() < 0.25);
+        },
+        popts);
+    json.add_profile_row(str_cat("MIA", largest, "_profile"),
+                         profile.hot_symbols(10));
+    std::cout << "\nprofiled repeat (MIA" << largest << "): " << profile.samples
+              << " samples, top symbols in BENCH_fig6.json\n";
+  }
 
   const std::string json_path = eval::results_dir() + "/BENCH_fig6.json";
   json.write(json_path);

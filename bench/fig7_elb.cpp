@@ -26,10 +26,12 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/clusterer.h"
 #include "eval/experiments.h"
 #include "eval/table.h"
+#include "obs/prof/profiler.h"
 #include "obs/registry.h"
 
 using namespace neat;
@@ -173,6 +175,35 @@ int main() {
                {{"elb_landmark", static_cast<double>(totals.elb_lm)},
                 {"elb_ch", static_cast<double>(totals.elb_ch)},
                 {"lm_over_ch_ratio", ratio}});
+
+  // Hot-spot attribution: one extra (untimed) ELB repeat of the largest ATL
+  // dataset under the sampling profiler; the top symbols ride in the
+  // trajectory JSON next to the timings they explain.
+  {
+    const roadnet::RoadNetwork& net = env.network("ATL");
+    const std::size_t largest = eval::kPaperObjectCounts.back();
+    const traj::TrajectoryDataset& data = env.dataset("ATL", largest);
+    Config elb;
+    elb.refine.epsilon = 3000.0;
+    elb.refine.use_elb = true;
+    obs::prof::ProfilerOptions popts;
+    popts.sample_hz = 997;  // smoke-scale runs are short; sample densely
+    const NeatClusterer profiled(net, elb);
+    const obs::prof::Profile profile = obs::prof::profile_call(
+        [&] {
+          // Re-run until ~a quarter second of work has accumulated so the
+          // attribution is statistically meaningful even at smoke scale.
+          const Stopwatch sw;
+          do {
+            static_cast<void>(profiled.run(data));
+          } while (sw.elapsed_seconds() < 0.25);
+        },
+        popts);
+    json.add_profile_row(str_cat("ATL", largest, "_ELB_profile"),
+                         profile.hot_symbols(10));
+    std::cout << "\nprofiled repeat (ATL" << largest << ", ELB): " << profile.samples
+              << " samples, top symbols in BENCH_fig7.json\n";
+  }
 
   const std::string json_path = eval::results_dir() + "/BENCH_fig7.json";
   json.write(json_path);

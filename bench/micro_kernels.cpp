@@ -18,11 +18,13 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "common/stopwatch.h"
 #include "core/clusterer.h"
 #include "core/fragmenter.h"
 #include "core/netflow.h"
 #include "core/refiner.h"
 #include "eval/experiments.h"
+#include "obs/prof/profiler.h"
 #include "roadnet/ch_engine.h"
 #include "roadnet/ch_table.h"
 #include "roadnet/generators.h"
@@ -404,6 +406,31 @@ int main(int argc, char** argv) {
   if (repeated_s > 0.0 && table_s > 0.0) {
     json.add_row("ManyToManyTableSpeedup",
                  {{"speedup_x", repeated_s / table_s}});
+  }
+
+  // Hot-spot attribution: one full clustering run over the shared fixture
+  // under the sampling profiler (untimed — google-benchmark already owns
+  // the timings above), top symbols into the trajectory JSON.
+  {
+    const Fixture& f = Fixture::get();
+    obs::prof::ProfilerOptions popts;
+    popts.sample_hz = 997;  // the fixture run is short; sample densely
+    Config cfg;
+    cfg.refine.epsilon = 2000.0;
+    const NeatClusterer profiled(f.net, cfg);
+    const obs::prof::Profile profile = obs::prof::profile_call(
+        [&] {
+          // Re-run until ~a quarter second of work has accumulated so the
+          // attribution is statistically meaningful even at smoke scale.
+          const Stopwatch sw;
+          do {
+            static_cast<void>(profiled.run(f.data));
+          } while (sw.elapsed_seconds() < 0.25);
+        },
+        popts);
+    json.add_profile_row("ClusterRun_profile", profile.hot_symbols(10));
+    std::cout << "profiled clustering run: " << profile.samples
+              << " samples, top symbols in BENCH_micro.json\n";
   }
   const std::string json_path = eval::results_dir() + "/BENCH_micro.json";
   json.write(json_path);

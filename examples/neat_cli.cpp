@@ -10,6 +10,7 @@
 //                [--landmarks N] [--distance-engine dijkstra|alt|ch|ch-table]
 //                [--threads N] [--refine-threads N]
 //                [--metrics-out metrics.prom] [--trace-out trace.json]
+//                [--profile-out profile.folded]
 //                [--admin-port PORT] [--out prefix]
 //
 // --distance-engine picks the Phase 3 shortest-distance backend: plain
@@ -24,6 +25,10 @@
 // 127.0.0.1:PORT (/metrics, /healthz, /readyz, /statusz, /tracez) for the
 // duration of the run — handy for watching a long clustering job from curl
 // or a Prometheus scraper; 0 picks a free port (printed on startup).
+//
+// --profile-out runs the sampling CPU profiler (src/obs/prof/) across the
+// clustering run and writes the collapsed-stack profile; render it with
+//   $ python3 tools/fold2svg.py profile.folded profile.svg
 //
 // Try it end to end (generates its own demo inputs when given --demo):
 //   $ ./neat_cli --demo
@@ -41,6 +46,7 @@
 #include "core/clusterer.h"
 #include "eval/report.h"
 #include "obs/http_exporter.h"
+#include "obs/prof/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "roadnet/generators.h"
@@ -58,6 +64,7 @@ struct CliOptions {
   std::string out_prefix{"neat_out"};
   std::string metrics_out;  ///< Prometheus text exposition file ("" = off).
   std::string trace_out;    ///< Chrome trace JSON file ("" = tracing off).
+  std::string profile_out;  ///< Folded CPU profile file ("" = profiler off).
   int admin_port{-1};       ///< -1 = no admin server; 0 = ephemeral port.
   Config config;
   bool demo{false};
@@ -72,7 +79,7 @@ struct CliOptions {
             << "                [--distance-engine dijkstra|alt|ch|ch-table]\n"
             << "                [--threads N] [--refine-threads N] [--out PREFIX]\n"
             << "                [--metrics-out FILE] [--trace-out FILE]\n"
-            << "                [--admin-port PORT]\n"
+            << "                [--profile-out FILE] [--admin-port PORT]\n"
             << "       neat_cli --demo   (self-contained demonstration)\n";
   std::exit(2);
 }
@@ -137,6 +144,8 @@ CliOptions parse_args(int argc, char** argv) {
         opt.metrics_out = next_value(i);
       } else if (arg == "--trace-out") {
         opt.trace_out = next_value(i);
+      } else if (arg == "--profile-out") {
+        opt.profile_out = next_value(i);
       } else if (arg == "--admin-port") {
         const std::int64_t p = parse_int(next_value(i));
         if (p < 0 || p > 65535) usage("--admin-port must be in [0, 65535]");
@@ -221,8 +230,24 @@ int main(int argc, char** argv) {
     std::cout << "loaded " << net.segment_count() << " segments, " << data.size()
               << " trajectories (" << data.total_points() << " points)\n";
 
+    const bool profiling =
+        !opt.profile_out.empty() && obs::prof::Profiler::global().start();
+    if (!opt.profile_out.empty() && !profiling) {
+      std::cerr << "warning: profiler busy, running without --profile-out\n";
+    }
     const NeatClusterer clusterer(net, opt.config);
     const Result res = clusterer.run(data);
+    if (profiling) {
+      const obs::prof::Profile profile = obs::prof::Profiler::global().stop();
+      std::ofstream out(opt.profile_out);
+      if (!out) throw Error(str_cat("cannot open '", opt.profile_out, "' for writing"));
+      out << profile.to_folded();
+      std::cout << "profile written to " << opt.profile_out << " ("
+                << profile.samples << " samples, "
+                << format_fixed(100.0 * profile.symbolized_fraction(), 1)
+                << "% symbolized; render: python3 tools/fold2svg.py "
+                << opt.profile_out << " profile.svg)\n";
+    }
     eval::write_report(std::cout, net, res, data.size());
 
     if (opt.config.mode != Mode::kBase) {

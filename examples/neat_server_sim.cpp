@@ -38,6 +38,7 @@
 #include "net/http_server.h"
 #include "net/query_service.h"
 #include "obs/http_exporter.h"
+#include "obs/prof/profiler.h"
 #include "obs/registry.h"
 #include "obs/resource_sampler.h"
 #include "obs/trace.h"
@@ -55,6 +56,7 @@ struct SimOptions {
   int query_port{-1};        ///< -1 = no public query plane; 0 = ephemeral.
   int sample_period_ms{1000};
   int linger_s{0};           ///< Keep serving this long after the workload.
+  std::string profile_out;   ///< Folded CPU profile file ("" = profiler off).
   DistanceEngine engine{DistanceEngine::kDijkstra};
 };
 
@@ -63,6 +65,7 @@ struct SimOptions {
             << "usage: neat_server_sim [--admin-port PORT] [--query-port PORT]\n"
             << "                       [--sample-period-ms MS] [--linger-s SECONDS]\n"
             << "                       [--distance-engine dijkstra|alt|ch|ch-table]\n"
+            << "                       [--profile-out FILE]\n"
             << "  --admin-port PORT       serve /metrics, /healthz, /readyz, /statusz\n"
             << "                          and /tracez on 127.0.0.1:PORT (0 = pick a\n"
             << "                          free port; omit for no admin server)\n"
@@ -75,7 +78,10 @@ struct SimOptions {
             << "                          workload so it can be scraped (default 0)\n"
             << "  --distance-engine E     Phase 3 distance backend for ingest\n"
             << "                          re-clustering; 'ch' also routes the\n"
-            << "                          simulated trips through the hierarchy\n";
+            << "                          simulated trips through the hierarchy\n"
+            << "  --profile-out FILE      sample the CPU across the simulated\n"
+            << "                          workload and write the folded profile\n"
+            << "                          (render: python3 tools/fold2svg.py)\n";
   std::exit(2);
 }
 
@@ -104,6 +110,8 @@ SimOptions parse_args(int argc, char** argv) {
         const std::int64_t s = parse_int(next_value(i));
         if (s < 0) usage("--linger-s must be >= 0");
         opt.linger_s = static_cast<int>(s);
+      } else if (arg == "--profile-out") {
+        opt.profile_out = next_value(i);
       } else if (arg == "--distance-engine") {
         const std::string v = next_value(i);
         if (v == "dijkstra") opt.engine = DistanceEngine::kDijkstra;
@@ -216,6 +224,11 @@ int main(int argc, char** argv) {
   // is clustered incrementally by the background worker; a new snapshot
   // version appears after each one without ever blocking queries. Every
   // upload travels under a fresh trace_id.
+  const bool profiling =
+      !opt.profile_out.empty() && obs::prof::Profiler::global().start();
+  if (!opt.profile_out.empty() && !profiling) {
+    std::cerr << "warning: profiler busy, running without --profile-out\n";
+  }
   sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
   sim_cfg.use_ch_routing = opt.engine == DistanceEngine::kCh;
   const sim::MobilitySimulator simulator(net, sim_cfg);
@@ -262,6 +275,21 @@ int main(int argc, char** argv) {
   for (const serve::RankedFlow& f : top.flows) {
     std::cout << "  flow #" << f.flow << ": " << f.cardinality << " trips over "
               << f.route_length_m << " m (cluster " << f.final_cluster << ")\n";
+  }
+
+  if (profiling) {
+    const obs::prof::Profile profile = obs::prof::Profiler::global().stop();
+    std::ofstream out(opt.profile_out);
+    if (!out) {
+      std::cerr << "error: cannot open '" << opt.profile_out << "' for writing\n";
+      return 1;
+    }
+    out << profile.to_folded();
+    std::cout << "profile written to " << opt.profile_out << " ("
+              << profile.samples << " samples, "
+              << format_fixed(100.0 * profile.symbolized_fraction(), 1)
+              << "% symbolized; render: python3 tools/fold2svg.py "
+              << opt.profile_out << " profile.svg)\n";
   }
 
   // --- operations: the legacy in-process JSON scrape still works; the live

@@ -12,12 +12,19 @@
 //                         like external traffic), reporting client-observed
 //                         per-endpoint latency quantiles.
 //
-//   $ ./serve_load_gen [--http] [query_threads] [batches] [trips_per_batch]
+// --admin-port additionally serves the admin plane (/metrics, /statusz,
+// /profilez, ...) on 127.0.0.1:PORT for the duration of the run — curling
+// /profilez?seconds=1 while the load runs yields a folded CPU profile of
+// the whole serving stack under pressure.
+//
+//   $ ./serve_load_gen [--http] [--admin-port PORT]
+//                      [query_threads] [batches] [trips_per_batch]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,6 +36,7 @@
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/query_service.h"
+#include "obs/http_exporter.h"
 #include "obs/registry.h"
 #include "roadnet/generators.h"
 #include "serve/ingest_service.h"
@@ -62,11 +70,22 @@ struct EndpointStats {
 
 int main(int argc, char** argv) {
   bool http_mode = false;
+  int admin_port = -1;  // -1 = no admin server; 0 = ephemeral port.
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--http") {
       http_mode = true;
+    } else if (arg == "--admin-port") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing value after --admin-port\n";
+        return 2;
+      }
+      admin_port = std::atoi(argv[++i]);
+      if (admin_port < 0 || admin_port > 65535) {
+        std::cerr << "error: --admin-port must be in [0, 65535]\n";
+        return 2;
+      }
     } else {
       positional.push_back(arg);
     }
@@ -107,6 +126,19 @@ int main(int argc, char** argv) {
   if (http_mode) {
     server.start();
     std::cout << "http edge: listening on 127.0.0.1:" << server.port() << '\n';
+  }
+
+  // Optional admin plane: lets an operator (or CI) hit /profilez while the
+  // load is in flight. Serves the same private registry as the query edge.
+  std::unique_ptr<obs::HttpExporter> admin;
+  if (admin_port >= 0) {
+    obs::HttpExporterOptions hopts;
+    hopts.port = static_cast<std::uint16_t>(admin_port);
+    admin = std::make_unique<obs::HttpExporter>(registry, hopts);
+    // The machine-readable line smoke tests grep for the bound port.
+    std::cout << "admin: listening on http://127.0.0.1:" << admin->port()
+              << " (/metrics /healthz /readyz /statusz /tracez /profilez)\n"
+              << std::flush;
   }
 
   // Feeder: upload all batches, then raise the done flag.

@@ -2,9 +2,13 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "common/error.h"
 #include "common/string_util.h"
+#include "obs/prof/profiler.h"
 
 #ifndef NEAT_GIT_SHA
 #define NEAT_GIT_SHA "unknown"
@@ -65,6 +69,56 @@ void HttpExporter::register_routes() {
     return net::HttpResponse{200, "application/json",
                              tracer_->to_tracez_json(options_.tracez_spans)};
   });
+  server_.handle("/profilez", [this](const net::HttpRequest& q) {
+    // One profiling run per request: ?seconds=N wall clock, deliberately
+    // blocking this worker — the other workers keep /metrics and /healthz
+    // live, and the profiler itself rejects overlap process-wide.
+    double seconds = 2.0;
+    if (const std::string* raw = q.param("seconds")) {
+      try {
+        seconds = parse_double(*raw);
+      } catch (const ParseError&) {
+        seconds = -1.0;
+      }
+      if (!(seconds > 0.0) || seconds > options_.profilez_max_seconds) {
+        return net::HttpResponse{
+            400, "application/json",
+            str_cat("{\"error\":\"invalid_parameter\",\"message\":\"seconds must be "
+                    "a number in (0, ",
+                    format_fixed(options_.profilez_max_seconds, 0), "]\"}")};
+      }
+    }
+    prof::ProfilerOptions popts;
+    if (const std::string* raw = q.param("hz")) {
+      try {
+        popts.sample_hz = static_cast<int>(parse_int(*raw));
+      } catch (const ParseError&) {
+        popts.sample_hz = 0;
+      }
+      if (popts.sample_hz < 1 || popts.sample_hz > 10000) {
+        return net::HttpResponse{
+            400, "application/json",
+            "{\"error\":\"invalid_parameter\",\"message\":\"hz must be an integer "
+            "in [1, 10000]\"}"};
+      }
+    }
+    if (!prof::Profiler::global().start(popts)) {
+      return net::HttpResponse{
+          409, "application/json",
+          "{\"error\":\"profiler_busy\",\"message\":\"a profiling session is "
+          "already active\"}"};
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    const prof::Profile profile = prof::Profiler::global().stop();
+    std::string folded = profile.to_folded();
+    if (folded.empty()) {
+      // An idle process accrues no CPU time, so a valid run can see zero
+      // samples; say so instead of returning an empty 200 body.
+      folded = str_cat("# no samples: process used no CPU during the ",
+                       format_fixed(seconds, 1), "s window\n");
+    }
+    return net::HttpResponse{200, "text/plain; charset=utf-8", std::move(folded)};
+  });
 }
 
 std::string HttpExporter::status_json() const {
@@ -80,7 +134,8 @@ std::string HttpExporter::status_json() const {
   out += json_escape(NEAT_GIT_SHA);
   out += "\",\"compiler\":\"";
   out += json_escape(__VERSION__);
-  out += "\"}";
+  out += "\"},\"profiler\":";
+  out += prof::Profiler::global().status_json();
   if (options_.status_fields) {
     const std::string extra = options_.status_fields();
     if (!extra.empty()) {
@@ -96,7 +151,8 @@ void HttpExporter::count_request(const std::string& path, int code) const {
   // Bound the label cardinality: only the fixed endpoint table appears as a
   // path label, anything else (including malformed requests) is "other".
   const bool known = path == "/metrics" || path == "/healthz" || path == "/readyz" ||
-                     path == "/statusz" || path == "/tracez";
+                     path == "/statusz" || path == "/tracez" ||
+                     path == "/profilez";
   registry_.counter("neat_obs_http_requests_total",
                     {{"path", known ? path : "other"}, {"code", std::to_string(code)}})
       .add(1);

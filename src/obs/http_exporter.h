@@ -9,9 +9,15 @@
 //   GET /healthz   liveness: 200 as long as the process serves requests
 //   GET /readyz    readiness: 200 when the ready() callback says so,
 //                  503 Service Unavailable otherwise (e.g. no snapshot yet)
-//   GET /statusz   JSON: build info, uptime, pid, plus app-supplied fields
-//                  (snapshot version/age, ingest queue depth, ...)
+//   GET /statusz   JSON: build info, uptime, pid, profiler state, plus
+//                  app-supplied fields (snapshot version/age, queue depth)
 //   GET /tracez    most recent N finished spans of the tracer as JSON
+//   GET /profilez  runs the sampling CPU profiler for ?seconds=N (default
+//                  2, capped) and streams the collapsed-stack ("folded")
+//                  profile as text/plain — pipe into flamegraph tooling or
+//                  tools/fold2svg.py. 409 when a session is already
+//                  active, 400 on a malformed parameter. The handler
+//                  blocks one worker for the duration by design.
 //
 // Unknown paths answer 404, malformed requests 400, non-GET/HEAD methods
 // 405. Every response carries Content-Length and `Connection: close` and
@@ -52,6 +58,8 @@ struct HttpExporterOptions {
   std::size_t max_pending_connections{16};
   /// Span count cap of the /tracez payload.
   std::size_t tracez_spans{256};
+  /// Longest profiling run /profilez will accept, seconds.
+  double profilez_max_seconds{60.0};
   /// Readiness probe backing /readyz; null = always ready.
   std::function<bool()> ready;
   /// Extra top-level `"key":value` JSON fields (comma-joined, no braces)

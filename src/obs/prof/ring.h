@@ -1,0 +1,70 @@
+// Per-thread sample rings of the sampling CPU profiler — the only data
+// structure the SIGPROF handler writes.
+//
+// Each sampled thread owns one SampleRing: the signal handler interrupting
+// that thread is the single producer, the profiler's stop() drain is the
+// single consumer, so a classic SPSC ring with acquire/release cursors is
+// enough and every handler-side operation is a relaxed/release atomic —
+// async-signal-safe by construction (no locks, no allocation, no libc
+// calls). A full ring drops the sample and bumps the drop counters instead
+// of blocking or overwriting: losing a sample under burst is harmless,
+// corrupting one that a concurrent drain is reading is not.
+//
+// Slots are fixed-size so the handler never computes with sizes it would
+// have to trust: a stack deeper than kMaxFrames is truncated (counted), a
+// ring fuller than `capacity` drops (counted).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace neat::obs::prof {
+
+/// Deepest stack a sample can carry; deeper walks truncate (and say so).
+inline constexpr std::size_t kMaxFrames = 48;
+
+/// One captured stack: program counters leaf-first (`pc[0]` is the
+/// interrupted instruction, higher indices walk toward main).
+struct Sample {
+  std::uint32_t tid{0};       ///< Kernel thread id (gettid) of the sampled thread.
+  std::uint16_t depth{0};     ///< Valid entries of `pc`, >= 1.
+  std::uint16_t truncated{0}; ///< 1 when the walk hit kMaxFrames and stopped.
+  std::uintptr_t pc[kMaxFrames];
+};
+
+/// Bounded SPSC ring of samples. Producer = the SIGPROF handler on the
+/// owning thread; consumer = the profiler drain after the timer is disarmed.
+struct SampleRing {
+  std::atomic<std::uint64_t> head{0};  ///< Next slot to write (producer).
+  std::atomic<std::uint64_t> tail{0};  ///< Next slot to read (consumer).
+  Sample* slots{nullptr};              ///< `capacity` entries, owned by the session slab.
+  std::size_t capacity{0};
+  std::uint32_t tid{0};                ///< Claiming thread, for threads-seen reporting.
+
+  /// Claims the next write slot, or nullptr when the ring is full. The
+  /// producer fills the slot, then calls publish(). Signal-handler safe.
+  Sample* begin_push() {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    if (h - tail.load(std::memory_order_acquire) >= capacity) return nullptr;
+    return &slots[h % capacity];
+  }
+
+  /// Makes the slot returned by begin_push() visible to the consumer.
+  void publish() {
+    head.store(head.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+
+  /// Consumes the oldest sample into `out`; false when empty. Must only be
+  /// called while the producer is quiesced or between publishes (the
+  /// profiler drains after disarming the timer and waiting out handlers).
+  bool pop(Sample& out) {
+    const std::uint64_t t = tail.load(std::memory_order_relaxed);
+    if (t == head.load(std::memory_order_acquire)) return false;
+    out = slots[t % capacity];
+    tail.store(t + 1, std::memory_order_release);
+    return true;
+  }
+};
+
+}  // namespace neat::obs::prof

@@ -1,0 +1,130 @@
+#include "obs/prof/symbolize.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+#ifdef __linux__
+#include <cxxabi.h>
+#include <dlfcn.h>
+#endif
+
+namespace neat::obs::prof {
+
+namespace {
+
+std::string hex_of(std::uintptr_t pc) {
+  char buf[2 + 2 * sizeof(std::uintptr_t) + 1];
+  std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<std::size_t>(pc));
+  return buf;
+}
+
+/// Strips a trailing balanced "(...)" argument list from a demangled name,
+/// leaving any "::suffix" after it (lambdas, local types) intact only when
+/// the parens are not final. "ns::f(int, double)" -> "ns::f";
+/// "operator()" survives because the scan only fires on a *balanced* final
+/// group that does not empty the name.
+std::string strip_arguments(const std::string& name) {
+  if (name.empty() || name.back() != ')') return name;
+  int depth = 0;
+  for (std::size_t i = name.size(); i-- > 0;) {
+    if (name[i] == ')') ++depth;
+    if (name[i] == '(') {
+      --depth;
+      if (depth == 0) {
+        if (i == 0) return name;  // "(anonymous namespace)" style prefix
+        // Keep "operator()" and conversion operators whole.
+        if (name.compare(0, i, "operator", 0, i) == 0) return name;
+        return name.substr(0, i);
+      }
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string demangle_symbol(const char* mangled) {
+#ifdef __linux__
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  if (status == 0 && demangled != nullptr) {
+    std::string out = strip_arguments(demangled);
+    std::free(demangled);
+    return out;
+  }
+  std::free(demangled);
+#endif
+  return mangled;
+}
+
+Symbolizer::Symbolizer() {
+#ifdef __linux__
+  // Snapshot the executable mappings once; tier 2 of the lookup and the
+  // source of "module+0xoff" names for symbol-less pcs.
+  std::ifstream maps("/proc/self/maps");
+  std::string line;
+  while (std::getline(maps, line)) {
+    // ADDR_BEGIN-ADDR_END PERMS OFFSET DEV INODE [PATH]
+    std::istringstream in(line);
+    std::string range, perms, offset, dev, inode, path;
+    in >> range >> perms >> offset >> dev >> inode;
+    std::getline(in, path);
+    if (perms.size() < 3 || perms[2] != 'x') continue;
+    const std::size_t dash = range.find('-');
+    if (dash == std::string::npos) continue;
+    Mapping m;
+    m.begin = std::strtoull(range.substr(0, dash).c_str(), nullptr, 16);
+    m.end = std::strtoull(range.substr(dash + 1).c_str(), nullptr, 16);
+    const std::string_view trimmed = trim(path);
+    const std::size_t slash = trimmed.rfind('/');
+    m.path = std::string(slash == std::string_view::npos ? trimmed
+                                                         : trimmed.substr(slash + 1));
+    mappings_.push_back(std::move(m));
+  }
+  std::sort(mappings_.begin(), mappings_.end(),
+            [](const Mapping& a, const Mapping& b) { return a.begin < b.begin; });
+#endif
+}
+
+const Symbolizer::Mapping* Symbolizer::mapping_of(std::uintptr_t pc) const {
+  auto it = std::upper_bound(
+      mappings_.begin(), mappings_.end(), pc,
+      [](std::uintptr_t v, const Mapping& m) { return v < m.begin; });
+  if (it == mappings_.begin()) return nullptr;
+  --it;
+  return pc < it->end ? &*it : nullptr;
+}
+
+std::string Symbolizer::resolve(std::uintptr_t pc) const {
+#ifdef __linux__
+  Dl_info info{};
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 && info.dli_sname != nullptr) {
+    return demangle_symbol(info.dli_sname);
+  }
+  if (const Mapping* m = mapping_of(pc)) {
+    const std::string base = m->path.empty() ? "anon" : m->path;
+    return str_cat(base, "+", hex_of(pc - m->begin));
+  }
+#endif
+  return hex_of(pc);
+}
+
+const std::string& Symbolizer::name(std::uintptr_t pc, bool return_address) {
+  // Return addresses point after their call; look up pc-1 so the frame
+  // lands in the calling function even when the call was its last insn.
+  const std::uintptr_t lookup = return_address && pc > 0 ? pc - 1 : pc;
+  const auto it = cache_.find(lookup);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(lookup, resolve(lookup)).first->second;
+}
+
+bool Symbolizer::is_hex(const std::string& name) {
+  return starts_with(name, "0x");
+}
+
+}  // namespace neat::obs::prof

@@ -1,0 +1,61 @@
+// Offline symbolization for the sampling profiler.
+//
+// Never touched from the signal handler — the handler records raw program
+// counters and this class turns them into names after the session, in
+// three tiers:
+//
+//   1. dladdr(): the dynamic symbol table. Executables link with
+//      -rdynamic (see the top-level CMakeLists) precisely so their own
+//      non-static functions resolve here; the result is demangled and its
+//      argument list stripped ("neat::Refiner::refine").
+//   2. /proc/self/maps: when the symbol table has no name (static or
+//      anonymous-namespace functions, stripped libraries), the pc is
+//      attributed to its executable mapping as "module+0xoffset".
+//   3. bare hex ("0x7f42..."): a pc no mapping claims — a JIT page, a
+//      corrupt frame record that still looked plausible, or a walk into
+//      unmapped memory that process_vm_readv cut short.
+//
+// Return addresses point one instruction past their call, so every
+// non-leaf frame is looked up at pc-1 to attribute the sample to the
+// calling line's function, not whatever happens to follow it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace neat::obs::prof {
+
+/// Caching pc -> name resolver. Construction snapshots /proc/self/maps;
+/// not thread-safe (one symbolizer per export).
+class Symbolizer {
+ public:
+  Symbolizer();
+
+  /// The display name of `pc`. `return_address` shifts the lookup to pc-1
+  /// (set for every frame except the interrupted leaf).
+  [[nodiscard]] const std::string& name(std::uintptr_t pc, bool return_address);
+
+  /// True when `name` is a bare-hex fallback (no symbol, no mapping).
+  [[nodiscard]] static bool is_hex(const std::string& name);
+
+ private:
+  struct Mapping {
+    std::uintptr_t begin{0};
+    std::uintptr_t end{0};
+    std::string path;  ///< Basename; "" for anonymous executable mappings.
+  };
+
+  [[nodiscard]] std::string resolve(std::uintptr_t pc) const;
+  [[nodiscard]] const Mapping* mapping_of(std::uintptr_t pc) const;
+
+  std::vector<Mapping> mappings_;  ///< Executable regions, sorted by begin.
+  std::unordered_map<std::uintptr_t, std::string> cache_;
+};
+
+/// Demangles an Itanium-ABI name and strips the trailing argument list;
+/// returns `mangled` unchanged when it does not demangle.
+[[nodiscard]] std::string demangle_symbol(const char* mangled);
+
+}  // namespace neat::obs::prof

@@ -4,10 +4,24 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <ctime>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "common/error.h"
 #include "common/string_util.h"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+#ifndef NEAT_GIT_SHA
+#define NEAT_GIT_SHA "unknown"
+#endif
+#ifndef NEAT_BUILD_TYPE
+#define NEAT_BUILD_TYPE "unknown"
+#endif
 
 namespace neat::obs {
 
@@ -132,8 +146,76 @@ double Log2Histogram::bucket_upper_seconds(std::size_t i) {
   return std::ldexp(1.0, static_cast<int>(i)) / 1e6;  // 2^i µs.
 }
 
+namespace {
+
+/// Unix time this process started, the Prometheus
+/// `process_start_time_seconds` convention: boot time (/proc/stat btime)
+/// plus the process start offset (/proc/self/stat field 22, clock ticks
+/// since boot). Falls back to "now at first registry access" off Linux or
+/// on parse failure — close enough for uptime math, and monotone within
+/// one process either way.
+double process_start_time_seconds() {
+#ifdef __linux__
+  std::ifstream self("/proc/self/stat");
+  std::string content;
+  std::getline(self, content);
+  const std::size_t close = content.rfind(')');
+  if (close != std::string::npos) {
+    std::istringstream rest(content.substr(close + 1));
+    std::vector<std::string> fields;
+    std::string tok;
+    while (rest >> tok) fields.push_back(tok);
+    double btime = -1.0;
+    std::ifstream proc("/proc/stat");
+    std::string line;
+    while (std::getline(proc, line)) {
+      if (starts_with(line, "btime ")) {
+        try {
+          btime = std::stod(line.substr(6));
+        } catch (const std::exception&) {
+        }
+        break;
+      }
+    }
+    // starttime is /proc(5) field 22, i.e. index 19 of the post-comm split.
+    if (btime >= 0.0 && fields.size() > 19) {
+      try {
+        return btime +
+               std::stod(fields[19]) / static_cast<double>(sysconf(_SC_CLK_TCK));
+      } catch (const std::exception&) {
+      }
+    }
+  }
+#endif
+  return static_cast<double>(std::time(nullptr));
+}
+
+/// Families every NEAT process exposes without any subsystem opting in:
+/// build provenance (constant 1 gauge carrying the identifying labels, the
+/// Prometheus *_info idiom) and the process start time. Registered once at
+/// first Registry::global() access so every exposition — neat_cli dumps,
+/// the admin /metrics, bench deltas — carries them.
+void register_process_metadata(Registry& r) {
+  r.set_help("neat_build_info",
+             "Build provenance of this binary; constant 1, data in the labels.");
+  r.set_help("neat_process_start_time_seconds",
+             "Unix time this process started, in seconds.");
+  r.gauge("neat_build_info", {{"git_sha", NEAT_GIT_SHA},
+                              {"compiler", __VERSION__},
+                              {"build_type", NEAT_BUILD_TYPE}})
+      .set(1.0);
+  r.gauge("neat_process_start_time_seconds").set(process_start_time_seconds());
+}
+
+}  // namespace
+
 Registry& Registry::global() {
   static Registry instance;
+  static const bool metadata_registered = [] {
+    register_process_metadata(instance);
+    return true;
+  }();
+  static_cast<void>(metadata_registered);
   return instance;
 }
 

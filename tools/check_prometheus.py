@@ -13,7 +13,10 @@ artifacts. Checks, line by line:
     synthesizes help text for unregistered families, so a family arriving
     without one is an exporter bug);
   * histogram `_bucket` series are cumulative (non-decreasing in `le`) and
-    end with an `le="+Inf"` bucket equal to `_count`.
+    end with an `le="+Inf"` bucket equal to `_count`;
+  * the process-metadata families every global-registry exposition must
+    carry are present: `neat_build_info` (with git_sha/compiler/build_type
+    labels) and `neat_process_start_time_seconds`.
 
 Exit code 0 when the file is valid, 1 with a message on stderr otherwise.
 
@@ -114,6 +117,10 @@ def main(path):
             family = family_of(name, types)
             if family is None:
                 fail(lineno, f"sample {name!r} has no preceding # TYPE line")
+            if name == "neat_build_info":
+                for key in ("git_sha", "compiler", "build_type"):
+                    if key not in labels:
+                        fail(lineno, f"neat_build_info sample missing {key!r} label")
             if types[family] == "histogram":
                 key = (family, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
                 if name.endswith("_bucket"):
@@ -125,6 +132,9 @@ def main(path):
 
     if not types:
         fail(0, "no metric families found")
+    for required in ("neat_build_info", "neat_process_start_time_seconds"):
+        if required not in types:
+            fail(0, f"required process-metadata family {required!r} is missing")
     for name in types:
         if name not in helps:
             fail(0, f"family {name!r} has a TYPE line but no HELP line")

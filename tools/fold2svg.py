@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Render a collapsed-stack ("folded") CPU profile as a flamegraph SVG.
+
+Input is the format emitted by the sampling profiler (src/obs/prof/), one
+line per unique stack, frames root-first separated by `;`, then a space and
+the sample count:
+
+    main;neat::NeatClusterer::run;neat::Refiner::refine 42
+
+Lines starting with `#` and blank lines are ignored. The output SVG is
+self-contained (no scripts, no external fonts): stacked rectangles, root
+row at the bottom, width proportional to inclusive samples, deterministic
+per-symbol colors, and a <title> tooltip per frame with the full name,
+sample count and percentage. Open it in any browser.
+
+  $ python3 tools/fold2svg.py profile.folded profile.svg
+
+--check only validates the input format (every line is `frames... count`
+with non-empty frames and a positive integer count) and prints a summary;
+exit code 0 when valid and non-empty, 1 with a message on stderr otherwise.
+CI uses it to gate /profilez output without caring about pixels:
+
+  $ python3 tools/fold2svg.py --check profile.folded
+"""
+import hashlib
+import html
+import sys
+
+# Layout constants (pixels).
+WIDTH = 1200
+FRAME_HEIGHT = 17
+FONT_SIZE = 11
+PAD = 10
+MIN_TEXT_WIDTH = 30  # narrower rects get no label, tooltip only
+
+
+def parse_folded(path):
+    """Returns (stacks, errors): stacks as [(frames_list, count)]."""
+    stacks = []
+    errors = []
+    with open(path, encoding="utf-8", errors="replace") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            head, sep, count_str = line.rpartition(" ")
+            if not sep or not head:
+                errors.append(f"line {lineno}: expected 'frames... count': {line!r}")
+                continue
+            if not count_str.isdigit() or int(count_str) <= 0:
+                errors.append(f"line {lineno}: count must be a positive integer: {line!r}")
+                continue
+            frames = head.split(";")
+            if any(not fr for fr in frames):
+                errors.append(f"line {lineno}: empty frame name: {line!r}")
+                continue
+            stacks.append((frames, int(count_str)))
+    return stacks, errors
+
+
+class Node:
+    __slots__ = ("name", "value", "children")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+        self.children = {}
+
+
+def build_trie(stacks):
+    root = Node("all")
+    for frames, count in stacks:
+        root.value += count
+        node = root
+        for frame in frames:
+            node = node.children.setdefault(frame, Node(frame))
+            node.value += count
+    return root
+
+
+def depth_of(node):
+    if not node.children:
+        return 1
+    return 1 + max(depth_of(c) for c in node.children.values())
+
+
+def color_of(name):
+    """Deterministic warm color from the symbol name (flamegraph palette)."""
+    h = hashlib.md5(name.encode("utf-8")).digest()
+    r = 205 + h[0] % 50
+    g = 60 + h[1] % 150
+    b = h[2] % 60
+    return f"rgb({r},{g},{b})"
+
+
+def render(root, out_path, source_name):
+    total = root.value
+    depth = depth_of(root)
+    height = depth * FRAME_HEIGHT + 2 * PAD + 2 * FRAME_HEIGHT
+    rects = []
+
+    def emit(node, x, width_px, level):
+        y = height - PAD - (level + 1) * FRAME_HEIGHT
+        pct = 100.0 * node.value / total
+        label = html.escape(node.name, quote=True)
+        tooltip = f"{label} ({node.value} samples, {pct:.2f}%)"
+        rects.append(
+            f'<g><title>{tooltip}</title>'
+            f'<rect x="{x:.2f}" y="{y}" width="{max(width_px, 0.3):.2f}" '
+            f'height="{FRAME_HEIGHT - 1}" fill="{color_of(node.name)}" rx="1"/>'
+            + (
+                f'<text x="{x + 2:.2f}" y="{y + FRAME_HEIGHT - 5}" '
+                f'font-size="{FONT_SIZE}" font-family="monospace" '
+                f'clip-path="inset(0)">{clip_text(node.name, width_px)}</text>'
+                if width_px >= MIN_TEXT_WIDTH
+                else ""
+            )
+            + "</g>"
+        )
+        cx = x
+        for child in sorted(node.children.values(), key=lambda c: c.name):
+            w = width_px * child.value / node.value
+            emit(child, cx, w, level + 1)
+            cx += w
+
+    def clip_text(name, width_px):
+        max_chars = max(int(width_px / (FONT_SIZE * 0.62)) - 1, 0)
+        if len(name) <= max_chars:
+            return html.escape(name)
+        return html.escape(name[: max(max_chars - 2, 0)] + "..") if max_chars >= 3 else ""
+
+    emit(root, PAD, WIDTH - 2 * PAD, 0)
+    title = html.escape(f"CPU flamegraph — {source_name} ({total} samples)")
+    svg = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{height}" '
+        f'viewBox="0 0 {WIDTH} {height}">',
+        f'<rect width="{WIDTH}" height="{height}" fill="#f8f8f8"/>',
+        f'<text x="{PAD}" y="{FRAME_HEIGHT}" font-size="{FONT_SIZE + 3}" '
+        f'font-family="monospace">{title}</text>',
+        *rects,
+        "</svg>",
+    ]
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write("\n".join(svg) + "\n")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--check"]
+    check_only = len(args) != len(argv) - 1
+    if not args or (check_only and len(args) != 1) or (not check_only and len(args) != 2):
+        sys.stderr.write(
+            "usage: fold2svg.py profile.folded profile.svg\n"
+            "       fold2svg.py --check profile.folded\n"
+        )
+        return 2
+    stacks, errors = parse_folded(args[0])
+    if errors:
+        for e in errors[:10]:
+            sys.stderr.write(f"fold2svg: {e}\n")
+        sys.stderr.write(f"fold2svg: {len(errors)} malformed line(s) in {args[0]}\n")
+        return 1
+    if not stacks:
+        sys.stderr.write(f"fold2svg: no stacks in {args[0]}\n")
+        return 1
+    total = sum(c for _, c in stacks)
+    if check_only:
+        print(f"OK: {args[0]}: {len(stacks)} unique stacks, {total} samples")
+        return 0
+    render(build_trie(stacks), args[1], args[0])
+    print(f"{args[1]}: {len(stacks)} unique stacks, {total} samples rendered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
