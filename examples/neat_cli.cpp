@@ -12,6 +12,7 @@
 //                [--metrics-out metrics.prom] [--trace-out trace.json]
 //                [--profile-out profile.folded]
 //                [--admin-port PORT] [--out prefix]
+//                [--log-level LEVEL] [--log-out FILE]
 //
 // --distance-engine picks the Phase 3 shortest-distance backend: plain
 // Dijkstra, ALT (landmark A*, implies --landmarks), or a contraction
@@ -46,6 +47,7 @@
 #include "core/clusterer.h"
 #include "eval/report.h"
 #include "obs/http_exporter.h"
+#include "obs/log/log.h"
 #include "obs/prof/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -65,7 +67,9 @@ struct CliOptions {
   std::string metrics_out;  ///< Prometheus text exposition file ("" = off).
   std::string trace_out;    ///< Chrome trace JSON file ("" = tracing off).
   std::string profile_out;  ///< Folded CPU profile file ("" = profiler off).
+  std::string log_out;      ///< JSON log lines file ("" = stderr).
   int admin_port{-1};       ///< -1 = no admin server; 0 = ephemeral port.
+  obs::log::Level log_level{obs::log::Level::kInfo};
   Config config;
   bool demo{false};
 };
@@ -80,6 +84,8 @@ struct CliOptions {
             << "                [--threads N] [--refine-threads N] [--out PREFIX]\n"
             << "                [--metrics-out FILE] [--trace-out FILE]\n"
             << "                [--profile-out FILE] [--admin-port PORT]\n"
+            << "                [--log-level trace|debug|info|warn|error|off]\n"
+            << "                [--log-out FILE]\n"
             << "       neat_cli --demo   (self-contained demonstration)\n";
   std::exit(2);
 }
@@ -150,6 +156,16 @@ CliOptions parse_args(int argc, char** argv) {
         const std::int64_t p = parse_int(next_value(i));
         if (p < 0 || p > 65535) usage("--admin-port must be in [0, 65535]");
         opt.admin_port = static_cast<int>(p);
+      } else if (arg == "--log-level") {
+        const std::string v = next_value(i);
+        const auto level = obs::log::parse_level(v);
+        if (!level.has_value()) {
+          usage(str_cat("unknown log level '", v,
+                        "' (trace|debug|info|warn|error|off)"));
+        }
+        opt.log_level = *level;
+      } else if (arg == "--log-out") {
+        opt.log_out = next_value(i);
       } else if (arg == "--no-elb") {
         opt.config.refine.use_elb = false;
       } else if (arg == "--demo") {
@@ -194,6 +210,12 @@ void write_flows_csv(const roadnet::RoadNetwork& net, const Result& res,
 int main(int argc, char** argv) {
   try {
     CliOptions opt = parse_args(argc, argv);
+    obs::log::Logger& logger = obs::log::Logger::global();
+    logger.set_default_level(opt.log_level);
+    if (!opt.log_out.empty() && !logger.set_output_file(opt.log_out)) {
+      std::cerr << "error: cannot open '" << opt.log_out << "' for logging\n";
+      return 1;
+    }
     if (!opt.trace_out.empty() || opt.admin_port >= 0) {
       obs::Tracer::global().set_enabled(true);
     }
@@ -204,7 +226,7 @@ int main(int argc, char** argv) {
       admin = std::make_unique<obs::HttpExporter>(obs::Registry::global(), hopts,
                                                   &obs::Tracer::global());
       std::cout << "admin: listening on http://127.0.0.1:" << admin->port()
-                << " (/metrics /healthz /readyz /statusz /tracez)\n";
+                << " (/metrics /healthz /readyz /statusz /tracez /logz)\n";
     }
 
     if (opt.demo) {
@@ -233,7 +255,7 @@ int main(int argc, char** argv) {
     const bool profiling =
         !opt.profile_out.empty() && obs::prof::Profiler::global().start();
     if (!opt.profile_out.empty() && !profiling) {
-      std::cerr << "warning: profiler busy, running without --profile-out\n";
+      NEAT_LOG(kWarn, "cli").msg("profiler busy, running without --profile-out");
     }
     const NeatClusterer clusterer(net, opt.config);
     const Result res = clusterer.run(data);
@@ -271,7 +293,8 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const Error& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    NEAT_LOG(kError, "cli").msg("run failed").kv("reason", e.what());
+    obs::log::Logger::global().flush();
     return 1;
   }
 }

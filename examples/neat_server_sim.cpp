@@ -38,6 +38,7 @@
 #include "net/http_server.h"
 #include "net/query_service.h"
 #include "obs/http_exporter.h"
+#include "obs/log/log.h"
 #include "obs/prof/profiler.h"
 #include "obs/registry.h"
 #include "obs/resource_sampler.h"
@@ -56,7 +57,10 @@ struct SimOptions {
   int query_port{-1};        ///< -1 = no public query plane; 0 = ephemeral.
   int sample_period_ms{1000};
   int linger_s{0};           ///< Keep serving this long after the workload.
+  int slow_ms{500};          ///< Slow-request log threshold; 0 disables.
   std::string profile_out;   ///< Folded CPU profile file ("" = profiler off).
+  std::string log_out;       ///< JSON log lines file ("" = stderr).
+  obs::log::Level log_level{obs::log::Level::kInfo};
   DistanceEngine engine{DistanceEngine::kDijkstra};
 };
 
@@ -81,7 +85,13 @@ struct SimOptions {
             << "                          simulated trips through the hierarchy\n"
             << "  --profile-out FILE      sample the CPU across the simulated\n"
             << "                          workload and write the folded profile\n"
-            << "                          (render: python3 tools/fold2svg.py)\n";
+            << "                          (render: python3 tools/fold2svg.py)\n"
+            << "  --log-level LEVEL       structured log level: trace|debug|info|\n"
+            << "                          warn|error|off (default info)\n"
+            << "  --log-out FILE          write JSON log lines to FILE instead of\n"
+            << "                          stderr\n"
+            << "  --slow-ms MS            slow-request log threshold on the query\n"
+            << "                          plane (default 500; 0 disables)\n";
   std::exit(2);
 }
 
@@ -112,6 +122,20 @@ SimOptions parse_args(int argc, char** argv) {
         opt.linger_s = static_cast<int>(s);
       } else if (arg == "--profile-out") {
         opt.profile_out = next_value(i);
+      } else if (arg == "--log-level") {
+        const std::string v = next_value(i);
+        const auto level = obs::log::parse_level(v);
+        if (!level.has_value()) {
+          usage(str_cat("unknown log level '", v,
+                        "' (trace|debug|info|warn|error|off)"));
+        }
+        opt.log_level = *level;
+      } else if (arg == "--log-out") {
+        opt.log_out = next_value(i);
+      } else if (arg == "--slow-ms") {
+        const std::int64_t ms = parse_int(next_value(i));
+        if (ms < 0) usage("--slow-ms must be >= 0");
+        opt.slow_ms = static_cast<int>(ms);
       } else if (arg == "--distance-engine") {
         const std::string v = next_value(i);
         if (v == "dijkstra") opt.engine = DistanceEngine::kDijkstra;
@@ -133,6 +157,12 @@ SimOptions parse_args(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const SimOptions opt = parse_args(argc, argv);
+  obs::log::Logger& logger = obs::log::Logger::global();
+  logger.set_default_level(opt.log_level);
+  if (!opt.log_out.empty() && !logger.set_output_file(opt.log_out)) {
+    std::cerr << "error: cannot open '" << opt.log_out << "' for logging\n";
+    return 1;
+  }
   obs::Tracer::global().set_enabled(true);
 
   // The shared map every tier works against.
@@ -176,12 +206,13 @@ int main(int argc, char** argv) {
       admin = std::make_unique<obs::HttpExporter>(obs::Registry::global(), hopts,
                                                   &obs::Tracer::global());
     } catch (const Error& e) {
-      std::cerr << "error: " << e.what() << '\n';
+      NEAT_LOG(kError, "sim").msg("admin server failed to start").kv("reason", e.what());
+      logger.flush();
       return 1;
     }
     // The machine-readable line smoke tests grep for the bound port.
     std::cout << "admin: listening on http://127.0.0.1:" << admin->port()
-              << " (/metrics /healthz /readyz /statusz /tracez)\n";
+              << " (/metrics /healthz /readyz /statusz /tracez /logz)\n";
   }
 
   // --- the public query plane: the same QueryEngine the in-process tier-3
@@ -202,8 +233,10 @@ int main(int argc, char** argv) {
     }
     planner = std::make_unique<sim::TripPlanner>(net, roadnet::Metric::kDistance,
                                                  std::move(ch));
+    net::QueryServiceOptions sopts_q;
+    sopts_q.slow_request_seconds = static_cast<double>(opt.slow_ms) / 1e3;
     query_service = std::make_unique<net::QueryService>(
-        net, engine, planner.get(), obs::Registry::global());
+        net, engine, planner.get(), obs::Registry::global(), sopts_q);
     net::HttpServerOptions qopts;
     qopts.port = static_cast<std::uint16_t>(opt.query_port);
     qopts.registry = &obs::Registry::global();
@@ -212,7 +245,8 @@ int main(int argc, char** argv) {
     try {
       query_server->start();
     } catch (const Error& e) {
-      std::cerr << "error: " << e.what() << '\n';
+      NEAT_LOG(kError, "sim").msg("query server failed to start").kv("reason", e.what());
+      logger.flush();
       return 1;
     }
     // The machine-readable line smoke tests grep for the bound port.
@@ -227,7 +261,7 @@ int main(int argc, char** argv) {
   const bool profiling =
       !opt.profile_out.empty() && obs::prof::Profiler::global().start();
   if (!opt.profile_out.empty() && !profiling) {
-    std::cerr << "warning: profiler busy, running without --profile-out\n";
+    NEAT_LOG(kWarn, "sim").msg("profiler busy, running without --profile-out");
   }
   sim::SimConfig sim_cfg = sim::default_config(net, 2, 3);
   sim_cfg.use_ch_routing = opt.engine == DistanceEngine::kCh;
@@ -281,7 +315,10 @@ int main(int argc, char** argv) {
     const obs::prof::Profile profile = obs::prof::Profiler::global().stop();
     std::ofstream out(opt.profile_out);
     if (!out) {
-      std::cerr << "error: cannot open '" << opt.profile_out << "' for writing\n";
+      NEAT_LOG(kError, "sim")
+          .msg("cannot open profile output file")
+          .kv("path", opt.profile_out);
+      logger.flush();
       return 1;
     }
     out << profile.to_folded();

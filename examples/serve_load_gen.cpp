@@ -18,6 +18,7 @@
 // the whole serving stack under pressure.
 //
 //   $ ./serve_load_gen [--http] [--admin-port PORT]
+//                      [--log-level LEVEL] [--log-out FILE]
 //                      [query_threads] [batches] [trips_per_batch]
 #include <algorithm>
 #include <atomic>
@@ -37,6 +38,7 @@
 #include "net/http_server.h"
 #include "net/query_service.h"
 #include "obs/http_exporter.h"
+#include "obs/log/log.h"
 #include "obs/registry.h"
 #include "roadnet/generators.h"
 #include "serve/ingest_service.h"
@@ -84,6 +86,27 @@ int main(int argc, char** argv) {
       admin_port = std::atoi(argv[++i]);
       if (admin_port < 0 || admin_port > 65535) {
         std::cerr << "error: --admin-port must be in [0, 65535]\n";
+        return 2;
+      }
+    } else if (arg == "--log-level") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing value after --log-level\n";
+        return 2;
+      }
+      const auto level = obs::log::parse_level(argv[++i]);
+      if (!level.has_value()) {
+        std::cerr << "error: unknown log level '" << argv[i]
+                  << "' (trace|debug|info|warn|error|off)\n";
+        return 2;
+      }
+      obs::log::Logger::global().set_default_level(*level);
+    } else if (arg == "--log-out") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: missing value after --log-out\n";
+        return 2;
+      }
+      if (!obs::log::Logger::global().set_output_file(argv[++i])) {
+        std::cerr << "error: cannot open '" << argv[i] << "' for logging\n";
         return 2;
       }
     } else {
@@ -137,7 +160,7 @@ int main(int argc, char** argv) {
     admin = std::make_unique<obs::HttpExporter>(registry, hopts);
     // The machine-readable line smoke tests grep for the bound port.
     std::cout << "admin: listening on http://127.0.0.1:" << admin->port()
-              << " (/metrics /healthz /readyz /statusz /tracez /profilez)\n"
+              << " (/metrics /healthz /readyz /statusz /tracez /profilez /logz)\n"
               << std::flush;
   }
 

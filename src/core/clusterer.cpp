@@ -2,6 +2,7 @@
 
 #include "common/stopwatch.h"
 #include "core/parallel_refiner.h"
+#include "obs/log/log.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -35,6 +36,8 @@ Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
   Stopwatch watch;
 
   // Phase 1: base cluster formation.
+  NEAT_LOG(kDebug, "core").msg("phase 1 starting")
+      .kv("trajectories", data.size());
   {
     obs::ScopedSpan span("neat.phase1");
     const Fragmenter fragmenter(net_);
@@ -47,10 +50,17 @@ Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
   }
   result.timing.phase1_s = watch.elapsed_seconds();
   record_phase_seconds("1", result.timing.phase1_s);
+  NEAT_LOG(kInfo, "core")
+      .msg("phase 1 finished")
+      .kv("fragments", result.num_fragments)
+      .kv("base_clusters", result.base_clusters.size())
+      .kv("duration_ms", result.timing.phase1_s * 1e3);
   if (config_.mode == Mode::kBase) return result;
 
   // Phase 2: flow cluster formation.
   watch.restart();
+  NEAT_LOG(kDebug, "core").msg("phase 2 starting")
+      .kv("base_clusters", result.base_clusters.size());
   {
     obs::ScopedSpan span("neat.phase2");
     const FlowBuilder builder(net_, result.base_clusters, config_.flow);
@@ -63,11 +73,18 @@ Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
   }
   result.timing.phase2_s = watch.elapsed_seconds();
   record_phase_seconds("2", result.timing.phase2_s);
+  NEAT_LOG(kInfo, "core")
+      .msg("phase 2 finished")
+      .kv("flows", result.flow_clusters.size())
+      .kv("filtered", result.filtered_flows.size())
+      .kv("duration_ms", result.timing.phase2_s * 1e3);
   if (config_.mode == Mode::kFlow) return result;
 
   // Phase 3: flow cluster refinement (parallel across RefineConfig::threads;
   // output is bit-identical to the serial refiner).
   watch.restart();
+  NEAT_LOG(kDebug, "core").msg("phase 3 starting")
+      .kv("flows", result.flow_clusters.size());
   {
     obs::ScopedSpan span("neat.phase3");
     const ParallelRefiner refiner(net_, config_.refine);
@@ -83,6 +100,11 @@ Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
   }
   result.timing.phase3_s = watch.elapsed_seconds();
   record_phase_seconds("3", result.timing.phase3_s);
+  NEAT_LOG(kInfo, "core")
+      .msg("phase 3 finished")
+      .kv("final_clusters", result.final_clusters.size())
+      .kv("sp_computations", result.sp_computations)
+      .kv("duration_ms", result.timing.phase3_s * 1e3);
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "obs/log/log.h"
 
 namespace neat {
 
@@ -37,6 +38,7 @@ const std::vector<FinalCluster>& IncrementalClusterer::add_batch(
   // Sliding window: evict flows from batches older than the window.
   if (options_.window_batches > 0 && batches_ + 1 > options_.window_batches) {
     const std::size_t oldest_kept = batches_ + 1 - options_.window_batches;
+    const std::size_t before = flows_.size();
     std::size_t write = 0;
     for (std::size_t read = 0; read < flows_.size(); ++read) {
       if (flow_batch_[read] >= oldest_kept) {
@@ -47,6 +49,13 @@ const std::vector<FinalCluster>& IncrementalClusterer::add_batch(
     }
     flows_.resize(write);
     flow_batch_.resize(write);
+    if (write < before) {
+      NEAT_LOG(kInfo, "core")
+          .msg("sliding window evicted flows")
+          .kv("evicted", before - write)
+          .kv("kept", write)
+          .kv("window_batches", options_.window_batches);
+    }
   }
 
   // Phase 3 over the (windowed) accumulated flow set. The refiner member

@@ -64,6 +64,17 @@ HttpResult http_get(std::uint16_t port, const std::string& target,
   return out;
 }
 
+HttpResult http_put(std::uint16_t port, const std::string& target,
+                    std::chrono::milliseconds timeout) {
+  HttpResult out;
+  out.raw = raw_request("127.0.0.1", port,
+                        "PUT " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n",
+                        timeout);
+  out.code = status_of(out.raw);
+  out.body = body_of(out.raw);
+  return out;
+}
+
 int status_of(const std::string& response) {
   // "HTTP/1.1 NNN ..."
   if (response.size() < 12 || response.rfind("HTTP/1.1 ", 0) != 0) return -1;

@@ -35,6 +35,12 @@ struct HttpResult {
     std::uint16_t port, const std::string& target,
     std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
 
+/// Issues `PUT target HTTP/1.1` (no body — parameters travel in the query
+/// string, matching the admin plane's control endpoints such as /logz).
+[[nodiscard]] HttpResult http_put(
+    std::uint16_t port, const std::string& target,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
 /// Status code of a raw HTTP/1.1 response, -1 when unparseable.
 [[nodiscard]] int status_of(const std::string& response);
 

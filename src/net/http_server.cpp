@@ -10,6 +10,7 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "obs/log/log.h"
 
 namespace neat::net {
 
@@ -117,7 +118,7 @@ HttpServer::HttpServer(HttpServerOptions options) : options_(std::move(options))
 
 HttpServer::~HttpServer() { stop(); }
 
-void HttpServer::handle(std::string path, HttpHandler handler) {
+void HttpServer::handle(std::string path, HttpHandler handler, bool allow_put) {
   if (started_.load(std::memory_order_acquire)) {
     throw PreconditionError("HttpServer: handle() after start()");
   }
@@ -128,12 +129,12 @@ void HttpServer::handle(std::string path, HttpHandler handler) {
   if (handler == nullptr) {
     throw PreconditionError(str_cat("HttpServer: null handler for '", path, "'"));
   }
-  for (const auto& [existing, unused] : routes_) {
-    if (existing == path) {
+  for (const Route& existing : routes_) {
+    if (existing.path == path) {
       throw PreconditionError(str_cat("HttpServer: duplicate route '", path, "'"));
     }
   }
-  routes_.emplace_back(std::move(path), std::move(handler));
+  routes_.push_back({std::move(path), std::move(handler), allow_put});
 }
 
 void HttpServer::start() {
@@ -172,6 +173,12 @@ void HttpServer::start() {
   }
   port_ = ntohs(bound.sin_port);
   listen_fd_.store(fd, std::memory_order_release);
+  NEAT_LOG(kInfo, "net")
+      .msg("listening")
+      .kv("address", options_.bind_address)
+      .kv("port", port_)
+      .kv("workers", options_.worker_threads)
+      .kv("routes", routes_.size());
 
   workers_.reserve(options_.worker_threads);
   for (std::size_t i = 0; i < options_.worker_threads; ++i) {
@@ -201,15 +208,24 @@ void HttpServer::stop() {
     if (w.joinable()) w.join();
   }
   // Connections still queued were never answered; just release them.
-  const std::lock_guard<std::mutex> lock(queue_mu_);
-  for (const int pending_fd : pending_) ::close(pending_fd);
-  pending_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    for (const int pending_fd : pending_) ::close(pending_fd);
+    pending_.clear();
+  }
+  if (port_ != 0) {
+    NEAT_LOG(kInfo, "net")
+        .msg("stopped")
+        .kv("port", port_)
+        .kv("requests_served", served_.load(std::memory_order_relaxed))
+        .kv("shed", shed_.load(std::memory_order_relaxed));
+  }
 }
 
 std::vector<std::string> HttpServer::routes() const {
   std::vector<std::string> out;
   out.reserve(routes_.size());
-  for (const auto& [path, unused] : routes_) out.push_back(path);
+  for (const Route& route : routes_) out.push_back(route.path);
   return out;
 }
 
@@ -239,6 +255,11 @@ void HttpServer::accept_loop() {
       if (options_.registry != nullptr) {
         options_.registry->counter("neat_net_shed_total").add(1);
       }
+      // The logger's rate limiter collapses a shed storm into summary lines.
+      NEAT_LOG(kWarn, "net")
+          .msg("connection shed: pending queue full")
+          .kv("port", port_)
+          .kv("max_pending", options_.max_pending_connections);
       if (options_.on_shed) options_.on_shed();
     } else {
       queue_cv_.notify_one();
@@ -277,13 +298,24 @@ void HttpServer::serve_connection(int fd) const {
       break;
     }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;  // EOF, timeout or error
+    if (n <= 0) {  // EOF, timeout or error
+      if (!request.empty()) {
+        NEAT_LOG(kDebug, "net")
+            .msg("request read ended before head completed")
+            .kv("bytes_read", request.size())
+            .kv("timed_out", errno == EAGAIN || errno == EWOULDBLOCK);
+      }
+      break;
+    }
     request.append(buf, static_cast<std::size_t>(n));
   }
   if (request.empty()) return;  // connected and left: nothing to answer
 
   if (!head_complete && request.size() >= options_.max_request_bytes) {
     count_request("", 431);
+    NEAT_LOG(kWarn, "net")
+        .msg("request head too large")
+        .kv("limit", options_.max_request_bytes);
     send_all(fd, render({431, "text/plain; charset=utf-8",
                          "request head too large\n"},
                         true));
@@ -295,6 +327,10 @@ void HttpServer::serve_connection(int fd) const {
   const std::string line = request.substr(0, eol);
   if (line.size() > options_.max_request_line_bytes) {
     count_request("", 414);
+    NEAT_LOG(kWarn, "net")
+        .msg("request line too long")
+        .kv("length", line.size())
+        .kv("limit", options_.max_request_line_bytes);
     send_all(fd, render({414, "text/plain; charset=utf-8",
                          "request line too long\n"},
                         true));
@@ -311,6 +347,7 @@ void HttpServer::serve_connection(int fd) const {
   if (method.empty() || target.empty() || target.front() != '/' ||
       version.rfind("HTTP/", 0) != 0) {
     count_request("", 400);
+    NEAT_LOG(kDebug, "net").msg("malformed request line");
     send_all(fd,
              render({400, "text/plain; charset=utf-8", "bad request\n"}, true));
     return;
@@ -331,18 +368,21 @@ HttpResponse HttpServer::dispatch(const std::string& method,
                                   std::string* path_out) const {
   const std::size_t qmark = target.find('?');
   *path_out = target.substr(0, qmark);
-  if (method != "GET" && method != "HEAD") {
-    return {405, "text/plain; charset=utf-8", "only GET is supported\n"};
+  if (method != "GET" && method != "HEAD" && method != "PUT") {
+    return {405, "text/plain; charset=utf-8", "method not allowed\n"};
   }
-  for (const auto& [path, handler] : routes_) {
-    if (path != *path_out) continue;
+  for (const Route& route : routes_) {
+    if (route.path != *path_out) continue;
+    if (method == "PUT" && !route.allow_put) {
+      return {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    }
     HttpRequest req;
     req.method = method;
     req.path = *path_out;
     if (qmark != std::string::npos) req.query = target.substr(qmark + 1);
     req.params = parse_query(req.query);
     try {
-      return handler(req);
+      return route.handler(req);
     } catch (const std::exception&) {
       // Handlers are documented not to throw; answer rather than crash a
       // worker, and never leak exception text to the wire.
@@ -359,8 +399,8 @@ void HttpServer::count_request(const std::string& path, int code) const {
     // as a path label, anything else (including malformed requests) is
     // "other".
     bool known = false;
-    for (const auto& [route, unused] : routes_) {
-      if (route == path) {
+    for (const Route& route : routes_) {
+      if (route.path == path) {
         known = true;
         break;
       }

@@ -16,12 +16,14 @@
 //   ... server.port() ...
 //   server.stop();            // idempotent; port is free again afterwards
 //
-// Request model: only GET and HEAD are accepted (405 otherwise); the query
-// string is split off the target and percent-decoded into ordered key/value
-// parameters before the handler runs. Unknown paths answer 404, malformed
-// request lines 400. Every response carries Content-Length and
-// `Connection: close` and the socket is closed after the write, so plain
-// `curl` always terminates.
+// Request model: GET and HEAD are accepted everywhere; PUT only on routes
+// registered with `allow_put` (admin control surfaces like /logz — request
+// bodies are never read, parameters travel in the query string). Anything
+// else answers 405. The query string is split off the target and
+// percent-decoded into ordered key/value parameters before the handler
+// runs. Unknown paths answer 404, malformed request lines 400. Every
+// response carries Content-Length and `Connection: close` and the socket
+// is closed after the write, so plain `curl` always terminates.
 //
 // Hardening (all bounds tunable through HttpServerOptions):
 //   * request head capped at `max_request_bytes` — exceeding it without a
@@ -62,7 +64,7 @@ namespace neat::net {
 
 /// One parsed request as seen by a route handler.
 struct HttpRequest {
-  std::string method;  ///< "GET" or "HEAD" (anything else is rejected earlier).
+  std::string method;  ///< "GET", "HEAD", or "PUT" on an allow_put route.
   std::string path;    ///< Target up to (not including) '?'.
   std::string query;   ///< Raw query string after '?', "" when absent.
   /// Percent-decoded query parameters in request order ('+' decodes to a
@@ -126,8 +128,10 @@ class HttpServer {
   HttpServer& operator=(const HttpServer&) = delete;
 
   /// Registers `handler` for exact-match `path` (must start with '/').
+  /// `allow_put` additionally routes PUT requests to the handler (which
+  /// branches on HttpRequest::method); GET/HEAD are always routed.
   /// Throws neat::PreconditionError after start() or on a duplicate path.
-  void handle(std::string path, HttpHandler handler);
+  void handle(std::string path, HttpHandler handler, bool allow_put = false);
 
   /// Binds + listens and starts the acceptor and worker threads. Throws
   /// neat::Error when the address is unavailable; at most one call.
@@ -162,6 +166,12 @@ class HttpServer {
                                            const std::string& target) const;
 
  private:
+  struct Route {
+    std::string path;
+    HttpHandler handler;
+    bool allow_put{false};
+  };
+
   [[nodiscard]] HttpResponse dispatch(const std::string& method,
                                       const std::string& target,
                                       std::string* path_out) const;
@@ -173,7 +183,7 @@ class HttpServer {
   void serve_connection(int fd) const;
 
   HttpServerOptions options_;
-  std::vector<std::pair<std::string, HttpHandler>> routes_;  ///< Frozen at start().
+  std::vector<Route> routes_;  ///< Frozen at start().
   std::atomic<bool> started_{false};
   std::atomic<int> listen_fd_{-1};  ///< Written by stop() while the acceptor reads it.
   std::uint16_t port_{0};

@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/log/log.h"
 #include "obs/trace.h"
 
 namespace neat::net {
@@ -178,7 +179,7 @@ QueryService::QueryService(const roadnet::RoadNetwork& net,
 QueryService::Endpoint QueryService::make_endpoint(const char* span_name,
                                                    const char* label) {
   return Endpoint{
-      span_name,
+      span_name, label,
       registry_.histogram("neat_net_request_seconds", {{"endpoint", label}}),
       registry_.counter("neat_net_errors_total", {{"endpoint", label}})};
 }
@@ -200,14 +201,32 @@ HttpResponse QueryService::answer(const Endpoint& ep, const HttpRequest& req,
   std::uint64_t trace_id = 0;
   try {
     trace_id = resolve_trace_id(req);
+    // Ambient for the whole handler: every NEAT_LOG line emitted below this
+    // frame (engine, roadnet, serve) carries the request's trace_id.
+    const obs::TraceIdScope trace_scope(trace_id);
     r = fn(trace_id);
   } catch (const RequestError& e) {
     r = error_response(e.code, e.error, e.detail);
   }
   span.arg("trace_id", trace_id);
   span.arg("code", static_cast<std::int64_t>(r.code));
-  ep.latency.record(watch.elapsed_seconds());
+  const double seconds = watch.elapsed_seconds();
+  ep.latency.record(seconds);
   if (r.code >= 400) ep.errors.add(1);
+  const obs::TraceIdScope trace_scope(trace_id);
+  NEAT_LOG(kDebug, "net")
+      .msg("request answered")
+      .kv("endpoint", ep.label)
+      .kv("code", r.code)
+      .kv("duration_ms", seconds * 1e3);
+  if (options_.slow_request_seconds > 0.0 && seconds >= options_.slow_request_seconds) {
+    NEAT_LOG(kWarn, "net")
+        .msg("slow request")
+        .kv("endpoint", ep.label)
+        .kv("code", r.code)
+        .kv("duration_ms", seconds * 1e3)
+        .kv("threshold_ms", options_.slow_request_seconds * 1e3);
+  }
   return r;
 }
 

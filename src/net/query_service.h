@@ -41,7 +41,11 @@
 // `neat_net_errors_total{endpoint=...}` counter (4xx/5xx) into its
 // registry; the underlying HttpServer contributes
 // `neat_net_requests_total{path=...,code=...}` and `neat_net_shed_total`
-// when constructed with the same registry attached.
+// when constructed with the same registry attached. Structured logging: the
+// request's trace id is installed as the thread's ambient id for the whole
+// handler, every request emits a debug line, and requests slower than
+// QueryServiceOptions::slow_request_seconds emit a warn "slow request" line
+// (endpoint, status, duration, trace_id) joinable against /tracez.
 //
 // Thread safety: handlers run on the server's worker pool. QueryEngine is
 // already thread-safe; the TripPlanner is not and is serialized behind an
@@ -75,6 +79,10 @@ struct QueryServiceOptions {
   /// response body and the fill work grow with the product, so oversized
   /// requests answer 400 table_too_large instead of stalling a worker.
   std::size_t max_table_cells{4096};
+  /// Requests slower than this emit one structured warn line (module "net":
+  /// endpoint, status, duration_ms, trace_id) so operators can join the
+  /// line against /tracez and /profilez. <= 0 disables the slow log.
+  double slow_request_seconds{0.5};
 };
 
 /// The /v1/* endpoint family. Keeps references to `net`, `engine`,
@@ -107,6 +115,7 @@ class QueryService {
   /// Per-endpoint cached registry series (creation is the cold path).
   struct Endpoint {
     const char* span_name;       ///< Static-storage span name ("net.nearest").
+    const char* label;           ///< Metric/log endpoint label ("nearest").
     obs::Log2Histogram& latency;
     obs::Counter& errors;
   };

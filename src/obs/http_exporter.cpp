@@ -119,6 +119,42 @@ void HttpExporter::register_routes() {
     }
     return net::HttpResponse{200, "text/plain; charset=utf-8", std::move(folded)};
   });
+  server_.handle(
+      "/logz",
+      [this](const net::HttpRequest& q) {
+        log::Logger& logger =
+            options_.logger != nullptr ? *options_.logger : log::Logger::global();
+        if (q.method == "PUT") {
+          const std::string* raw = q.param("level");
+          if (raw == nullptr) {
+            return net::HttpResponse{
+                400, "application/json",
+                "{\"error\":\"missing_parameter\",\"message\":\"PUT /logz "
+                "requires ?level=trace|debug|info|warn|error|off\"}"};
+          }
+          const std::optional<log::Level> level = log::parse_level(*raw);
+          if (!level.has_value()) {
+            return net::HttpResponse{
+                400, "application/json",
+                str_cat("{\"error\":\"invalid_level\",\"message\":\"unknown "
+                        "level '",
+                        json_escape(*raw),
+                        "' (want trace|debug|info|warn|error|off)\"}")};
+          }
+          const std::string* module = q.param("module");
+          if (module == nullptr || *module == "*") {
+            logger.set_default_level(*level);
+          } else {
+            logger.set_level(*module, *level);
+          }
+          log::Statement(logger, log::Level::kInfo, "obs")
+              .msg("log level changed via /logz")
+              .kv("module", module != nullptr ? module->c_str() : "*")
+              .kv("level", log::level_name(*level));
+        }
+        return net::HttpResponse{200, "application/json", logger.logz_json()};
+      },
+      /*allow_put=*/true);
 }
 
 std::string HttpExporter::status_json() const {
@@ -136,6 +172,9 @@ std::string HttpExporter::status_json() const {
   out += json_escape(__VERSION__);
   out += "\"},\"profiler\":";
   out += prof::Profiler::global().status_json();
+  out += ",\"log\":";
+  out += (options_.logger != nullptr ? *options_.logger : log::Logger::global())
+             .logz_json();
   if (options_.status_fields) {
     const std::string extra = options_.status_fields();
     if (!extra.empty()) {
@@ -152,7 +191,7 @@ void HttpExporter::count_request(const std::string& path, int code) const {
   // path label, anything else (including malformed requests) is "other".
   const bool known = path == "/metrics" || path == "/healthz" || path == "/readyz" ||
                      path == "/statusz" || path == "/tracez" ||
-                     path == "/profilez";
+                     path == "/profilez" || path == "/logz";
   registry_.counter("neat_obs_http_requests_total",
                     {{"path", known ? path : "other"}, {"code", std::to_string(code)}})
       .add(1);

@@ -18,9 +18,16 @@
 //                  tools/fold2svg.py. 409 when a session is already
 //                  active, 400 on a malformed parameter. The handler
 //                  blocks one worker for the duration by design.
+//   GET /logz      the structured logger's state as JSON: default level,
+//                  per-module levels, lines/dropped/suppressed totals
+//   PUT /logz      flips log levels at runtime without a restart:
+//                  ?level=LEVEL alone moves the default and every module;
+//                  &module=NAME moves one module (creating it). 400 with
+//                  {"error":...} on a missing/unknown level. Answers the
+//                  updated /logz listing.
 //
-// Unknown paths answer 404, malformed requests 400, non-GET/HEAD methods
-// 405. Every response carries Content-Length and `Connection: close` and
+// Unknown paths answer 404, malformed requests 400, disallowed methods
+// 405 (PUT is accepted only on /logz). Every response carries Content-Length and `Connection: close` and
 // the socket is closed after the write, so plain `curl` always terminates.
 //
 // Overload behaviour (inherited from the core): accepted connections wait
@@ -41,6 +48,7 @@
 #include <string>
 
 #include "net/http_server.h"
+#include "obs/log/log.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -65,6 +73,9 @@ struct HttpExporterOptions {
   /// Extra top-level `"key":value` JSON fields (comma-joined, no braces)
   /// merged into /statusz; null = none.
   std::function<std::string()> status_fields;
+  /// Logger behind /logz and the /statusz "log" section; null =
+  /// log::Logger::global(). Tests attach private loggers.
+  log::Logger* logger{nullptr};
 };
 
 /// Live HTTP admin plane over a Registry (and optionally a Tracer).

@@ -1,0 +1,93 @@
+// Per-thread record rings of the structured logger — the only data
+// structure a NEAT_LOG statement writes.
+//
+// Each logging thread owns one RecordRing per Logger it talks to: the
+// thread is the single producer, the logger's background writer is the
+// single consumer, so the classic SPSC ring with acquire/release cursors
+// from src/obs/prof/ring.h carries over unchanged — every producer-side
+// operation is a relaxed/release atomic, no locks, no allocation, no libc
+// calls beyond clock_gettime. Unlike the profiler's rings (drained only
+// after the timer is disarmed) these are drained *concurrently* with
+// production, which SPSC acquire/release supports by construction: the
+// consumer only reads slots strictly before `head`, the producer publishes
+// `head` after the slot is fully written.
+//
+// Records are fixed-size so a statement never allocates: a message longer
+// than kMaxMessage is truncated (and says so), a key=value payload that
+// would overflow kMaxFields drops whole pairs (never half a pair, so the
+// emitted JSON stays well-formed), and a full ring drops the record and
+// bumps `neat_obs_log_dropped_total{module}` instead of blocking the
+// caller or overwriting a slot the writer may be reading.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace neat::obs::log {
+
+/// Longest message payload a record carries; longer messages truncate.
+inline constexpr std::size_t kMaxMessage = 240;
+
+/// Longest preformatted key=value JSON payload; overflow drops whole pairs.
+inline constexpr std::size_t kMaxFields = 496;
+
+/// One structured log record, fully formatted on the producing thread.
+/// `fields` holds preformatted `,"key":value` JSON fragments (comma-led so
+/// the writer can splice them after the standard envelope keys).
+struct Record {
+  std::int64_t wall_ns{0};     ///< CLOCK_REALTIME nanoseconds at the call site.
+  std::uint64_t trace_id{0};   ///< Ambient obs::current_trace_id(), 0 = none.
+  std::uint32_t tid{0};        ///< Producing thread's logger-local id.
+  std::uint8_t level{0};       ///< log::Level of the statement.
+  std::uint8_t truncated{0};   ///< 1 when message or fields hit their cap.
+  std::uint16_t msg_len{0};    ///< Valid bytes of `msg`.
+  std::uint16_t fields_len{0}; ///< Valid bytes of `fields`.
+  const void* module{nullptr}; ///< The owning Logger's Module*, stable.
+  char msg[kMaxMessage];
+  char fields[kMaxFields];
+};
+
+/// Bounded SPSC ring of records. Producer = the owning thread's NEAT_LOG
+/// statements; consumer = the logger's background writer, draining live.
+struct RecordRing {
+  std::atomic<std::uint64_t> head{0};  ///< Next slot to write (producer).
+  std::atomic<std::uint64_t> tail{0};  ///< Next slot to read (consumer).
+  std::unique_ptr<Record[]> slots;     ///< `capacity` entries.
+  std::size_t capacity{0};
+  std::uint32_t tid{0};  ///< Claiming thread's logger-local id.
+
+  /// Claims the next write slot, or nullptr when the ring is full. The
+  /// producer fills the slot, then calls publish(). Signal-handler safe.
+  Record* begin_push() {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    if (h - tail.load(std::memory_order_acquire) >= capacity) return nullptr;
+    return &slots[h % capacity];
+  }
+
+  /// Makes the slot returned by begin_push() visible to the writer.
+  void publish() {
+    head.store(head.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+  }
+
+  /// Consumes the oldest record into `out`; false when empty. Safe to call
+  /// while the producer keeps pushing (SPSC: the consumer never touches the
+  /// slot `head` points at).
+  bool pop(Record& out) {
+    const std::uint64_t t = tail.load(std::memory_order_relaxed);
+    if (t == head.load(std::memory_order_acquire)) return false;
+    out = slots[t % capacity];
+    tail.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Records currently buffered (approximate under concurrent production).
+  [[nodiscard]] std::size_t size() const {
+    const std::uint64_t h = head.load(std::memory_order_acquire);
+    const std::uint64_t t = tail.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(h - t);
+  }
+};
+
+}  // namespace neat::obs::log

@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "obs/log/log.h"
 #include "obs/prof/ring.h"
 #include "obs/prof/symbolize.h"
 #include "obs/registry.h"
@@ -50,6 +51,13 @@ std::atomic<Counter*> g_samples_counter{nullptr};  ///< neat_obs_prof_samples_to
 std::atomic<std::uint64_t> g_samples{0};
 std::atomic<std::uint64_t> g_dropped{0};
 std::atomic<std::int64_t> g_last_overflow_warn_s{-1000000};
+/// Structured-logging hook for the overflow warning, published by start()
+/// (cold path) so the handler only does lock-free loads. The logger's
+/// try_log_signal_safe pushes to an existing per-thread ring without
+/// locking or allocating; when it cannot, the handler falls back to
+/// write(2).
+std::atomic<log::Logger*> g_log_logger{nullptr};
+std::atomic<log::Module*> g_log_module{nullptr};
 /// Whether process_vm_readv self-reads work here (probed once at start();
 /// sandboxes may filter the syscall). When false the walk stops at the
 /// leaf pc instead of risking a fault on a garbage frame pointer.
@@ -85,6 +93,19 @@ void warn_overflow_rate_limited() {
   if (now_s - last < 5) return;
   if (!g_last_overflow_warn_s.compare_exchange_strong(last, now_s,
                                                       std::memory_order_relaxed)) {
+    return;
+  }
+  // Prefer a structured line through the async logger: its signal-safe
+  // path only pushes to a ring this thread already owns (and never when a
+  // log statement on this thread was interrupted mid-push), so it can
+  // refuse — keep the classic write(2) fallback for exactly that case.
+  log::Logger* logger = g_log_logger.load(std::memory_order_acquire);
+  log::Module* module = g_log_module.load(std::memory_order_acquire);
+  if (logger != nullptr && module != nullptr &&
+      logger->try_log_signal_safe(
+          log::Level::kWarn, *module,
+          "sample ring overflow, dropping samples "
+          "(see neat_obs_prof_dropped_total)")) {
     return;
   }
   static const char kMsg[] =
@@ -256,6 +277,12 @@ bool Profiler::start(const ProfilerOptions& options) {
                           std::memory_order_relaxed);
   g_dropped_counter.store(&reg.counter("neat_obs_prof_dropped_total"),
                           std::memory_order_relaxed);
+  // Pre-register the logger hook for the handler's overflow warning: the
+  // module lookup locks on first use, which must happen here (cold) and
+  // never inside the signal handler.
+  log::Logger& logger = log::Logger::global();
+  g_log_module.store(&logger.module("prof"), std::memory_order_release);
+  g_log_logger.store(&logger, std::memory_order_release);
 
   g_samples.store(0, std::memory_order_relaxed);
   g_dropped.store(0, std::memory_order_relaxed);
@@ -322,6 +349,15 @@ Profile Profiler::stop() {
   profile.duration_s = ctl.last_duration_s;
   profile.samples = g_samples.load(std::memory_order_relaxed);
   profile.dropped = g_dropped.load(std::memory_order_relaxed);
+  if (profile.dropped > 0) {
+    // Off-handler summary of what the rate-limited in-handler warning could
+    // only hint at.
+    NEAT_LOG(kWarn, "prof")
+        .msg("profiling session dropped samples")
+        .kv("dropped", profile.dropped)
+        .kv("samples", profile.samples)
+        .kv("duration_s", profile.duration_s);
+  }
 
   std::map<std::vector<std::uintptr_t>, std::uint64_t> aggregated;
   std::set<std::uint32_t> tids;

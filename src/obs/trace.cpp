@@ -54,6 +54,23 @@ std::uint64_t next_trace_id() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+// Trivially constructed/destroyed thread-local, so reading it is a constant
+// offset from the thread pointer — safe from signal handlers (the logger's
+// emergency path reads it) and free of TLS guard branches.
+thread_local std::uint64_t t_trace_id = 0;
+}  // namespace
+
+std::uint64_t current_trace_id() { return t_trace_id; }
+
+void set_current_trace_id(std::uint64_t id) { t_trace_id = id; }
+
+TraceIdScope::TraceIdScope(std::uint64_t id) : prev_(t_trace_id) {
+  t_trace_id = id;
+}
+
+TraceIdScope::~TraceIdScope() { t_trace_id = prev_; }
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

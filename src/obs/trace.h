@@ -139,6 +139,30 @@ class Tracer {
 /// Perfetto / /tracez search follows one request end-to-end.
 [[nodiscard]] std::uint64_t next_trace_id();
 
+/// The ambient trace id of the calling thread (0 = none). Request planes
+/// install the id they minted with a TraceIdScope for the duration of the
+/// request, and every NEAT_LOG line emitted on the thread carries it
+/// automatically — that is how a slow-request log line joins /tracez.
+/// Reading is one trivial thread-local load (async-signal-safe).
+[[nodiscard]] std::uint64_t current_trace_id();
+
+/// Sets the calling thread's ambient trace id (prefer TraceIdScope).
+void set_current_trace_id(std::uint64_t id);
+
+/// RAII ambient trace id: installs `id` for the calling thread on
+/// construction and restores the previous value on destruction, so nested
+/// scopes (a request handler calling into ingest) unwind correctly.
+class TraceIdScope {
+ public:
+  explicit TraceIdScope(std::uint64_t id);
+  ~TraceIdScope();
+  TraceIdScope(const TraceIdScope&) = delete;
+  TraceIdScope& operator=(const TraceIdScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
 /// RAII span: records [construction, destruction) on the calling thread of
 /// `tracer`. Near-zero cost when the tracer is disabled. Spans must be
 /// closed on the thread that opened them (automatic with scope-based use).

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "obs/log/log.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -65,6 +66,12 @@ ChEngine::ChEngine(const RoadNetwork& net, Options opts) : net_(net), opts_(opts
   span.arg("junctions", static_cast<std::uint64_t>(n_));
   span.arg("base_arcs", static_cast<std::uint64_t>(base_arcs));
   span.arg("shortcuts", static_cast<std::uint64_t>(shortcut_count_));
+  NEAT_LOG(kInfo, "roadnet")
+      .msg("CH hierarchy built")
+      .kv("junctions", n_)
+      .kv("base_arcs", base_arcs)
+      .kv("shortcuts", shortcut_count_)
+      .kv("duration_ms", preprocessing_seconds_ * 1e3);
 }
 
 std::int32_t ChEngine::rank(NodeId n) const {

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/stopwatch.h"
+#include "obs/log/log.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "roadnet/shortest_path.h"
@@ -107,6 +108,11 @@ LandmarkOracle::LandmarkOracle(const RoadNetwork& net, int num_landmarks) : net_
       .record(watch.elapsed_seconds());
   span.arg("landmarks", static_cast<std::uint64_t>(landmarks_.size()));
   span.arg("junctions", static_cast<std::uint64_t>(n));
+  NEAT_LOG(kInfo, "roadnet")
+      .msg("landmark tables built")
+      .kv("landmarks", landmarks_.size())
+      .kv("junctions", n)
+      .kv("duration_ms", watch.elapsed_seconds() * 1e3);
 }
 
 double LandmarkOracle::lower_bound(NodeId s, NodeId t) const {

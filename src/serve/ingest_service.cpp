@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "obs/log/log.h"
 #include "obs/trace.h"
 
 namespace neat::serve {
@@ -37,7 +38,13 @@ bool IngestService::submit(traj::TrajectoryDataset batch, std::uint64_t trace_id
     const std::lock_guard<std::mutex> lock(flush_mu_);  // pairs with flush()'s wait
   }
   flush_cv_.notify_all();
-  if (r == PushResult::kRejected) metrics_.record_rejected_batch();
+  if (r == PushResult::kRejected) {
+    metrics_.record_rejected_batch();
+    NEAT_LOG(kWarn, "serve")
+        .msg("ingest batch rejected: queue full")
+        .kv("trace_id_req", trace_id)
+        .kv("queue_capacity", options_.queue_capacity);
+  }
   return false;
 }
 
@@ -69,6 +76,8 @@ void IngestService::run() {
 void IngestService::process_batch(PendingBatch pending) {
   obs::ScopedSpan span("serve.ingest_batch");
   span.arg("trace_id", pending.trace_id);
+  // Ambient for the whole batch: pipeline log lines join the batch's trace.
+  const obs::TraceIdScope trace_scope(pending.trace_id);
   const Stopwatch watch;
   const std::size_t n_trajectories = pending.batch.size();
   span.arg("trajectories", static_cast<std::uint64_t>(n_trajectories));
@@ -81,10 +90,19 @@ void IngestService::process_batch(PendingBatch pending) {
     published_.store(version, std::memory_order_release);
     metrics_.record_ingest(n_trajectories, watch.elapsed_seconds(), version);
     span.arg("version", version);
-  } catch (const Error&) {
+    NEAT_LOG(kInfo, "serve")
+        .msg("snapshot published")
+        .kv("version", version)
+        .kv("trajectories", n_trajectories)
+        .kv("duration_ms", watch.elapsed_seconds() * 1e3);
+  } catch (const Error& e) {
     // Bad batch (duplicate ids, unknown segments, ...): drop it, keep
     // serving the previous snapshot.
     metrics_.record_failed_batch();
+    NEAT_LOG(kWarn, "serve")
+        .msg("ingest batch failed; previous snapshot kept")
+        .kv("trajectories", n_trajectories)
+        .kv("reason", e.what());
   }
   processed_.fetch_add(1, std::memory_order_acq_rel);
   {

@@ -15,12 +15,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "net/http_client.h"
 #include "net/http_server.h"
 #include "net/query_service.h"
+#include "obs/log/log.h"
 #include "obs/registry.h"
 #include "roadnet/builder.h"
 #include "roadnet/ch_engine.h"
@@ -381,6 +385,41 @@ TEST(QueryService, ServesOverHttpThroughRegisteredRoutes) {
   EXPECT_GE(fx.registry.counter_value("neat_net_requests_total",
                                       {{"path", "/v1/nearest"}, {"code", "200"}}),
             1u);
+}
+
+TEST(QueryService, SlowRequestsEmitAWarnLineJoinableByTraceId) {
+  Fixture fx;
+  QueryServiceOptions opts;
+  opts.slow_request_seconds = 1e-9;  // every request counts as slow
+  const QueryService slow_service(fx.net, fx.engine, &fx.planner, fx.registry, opts);
+
+  // Capture the global logger (the one NEAT_LOG reports into) for the
+  // duration of this test; restore the default sink on the way out.
+  std::mutex mu;
+  std::vector<std::string> lines;
+  obs::log::Logger& logger = obs::log::Logger::global();
+  logger.set_sink([&](std::string_view line) {
+    const std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(line);
+  });
+
+  const HttpResponse r =
+      slow_service.topk(request({{"k", "2"}, {"trace_id", "42"}}));
+  EXPECT_EQ(r.code, 200);
+  logger.flush();
+  logger.set_sink(nullptr);
+
+  const std::lock_guard<std::mutex> lock(mu);
+  bool found = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"msg\":\"slow request\"") == std::string::npos) continue;
+    found = true;
+    EXPECT_NE(line.find("\"level\":\"warn\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"endpoint\":\"topk\""), std::string::npos) << line;
+    EXPECT_NE(line.find("\"trace_id\":42"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"threshold_ms\":"), std::string::npos) << line;
+  }
+  EXPECT_TRUE(found) << "no slow-request line was captured";
 }
 
 }  // namespace
