@@ -5,7 +5,7 @@
 // the discovered clusters back as CSV.
 //
 //   $ ./neat_cli --network net.csv --trajectories trips.csv
-//                [--mode base|flow|opt] [--epsilon M] [--min-card N|auto]
+//                [--columnar] [--mode base|flow|opt] [--epsilon M] [--min-card N|auto]
 //                [--wq X --wk Y --wv Z] [--beta B] [--no-elb]
 //                [--landmarks N] [--distance-engine dijkstra|alt|ch|ch-table]
 //                [--threads N] [--refine-threads N]
@@ -17,6 +17,12 @@
 // --distance-engine picks the Phase 3 shortest-distance backend: plain
 // Dijkstra, ALT (landmark A*, implies --landmarks), or a contraction
 // hierarchy with memoized upward labels (fastest; exact in all cases).
+//
+// --columnar treats --trajectories as a binary columnar file (written by
+// neat_convert or sim::generate_columnar_stream) and runs Phase 1
+// out-of-core: the file is memory-mapped and scanned in bounded-memory
+// batches, so datasets larger than RAM cluster fine. Results are
+// bit-identical to the CSV path on the same data.
 //
 // --metrics-out dumps the run's metric registry as Prometheus text
 // exposition; --trace-out enables the pipeline tracer and writes a Chrome
@@ -50,10 +56,12 @@
 #include "obs/log/log.h"
 #include "obs/prof/profiler.h"
 #include "obs/registry.h"
+#include "obs/resource_sampler.h"
 #include "obs/trace.h"
 #include "roadnet/generators.h"
 #include "roadnet/io.h"
 #include "sim/mobility_simulator.h"
+#include "store/columnar_store.h"
 #include "traj/io.h"
 
 using namespace neat;
@@ -71,13 +79,14 @@ struct CliOptions {
   int admin_port{-1};       ///< -1 = no admin server; 0 = ephemeral port.
   obs::log::Level log_level{obs::log::Level::kInfo};
   Config config;
+  bool columnar{false};  ///< --trajectories is a columnar file, run out-of-core.
   bool demo{false};
 };
 
 [[noreturn]] void usage(const std::string& error) {
   std::cerr << "error: " << error << "\n\n"
             << "usage: neat_cli --network NET.csv --trajectories TRIPS.csv\n"
-            << "                [--mode base|flow|opt] [--epsilon METRES]\n"
+            << "                [--columnar] [--mode base|flow|opt] [--epsilon METRES]\n"
             << "                [--min-card N|auto] [--wq X --wk Y --wv Z]\n"
             << "                [--beta B|inf] [--no-elb] [--landmarks N]\n"
             << "                [--distance-engine dijkstra|alt|ch|ch-table]\n"
@@ -168,6 +177,8 @@ CliOptions parse_args(int argc, char** argv) {
         opt.log_out = next_value(i);
       } else if (arg == "--no-elb") {
         opt.config.refine.use_elb = false;
+      } else if (arg == "--columnar") {
+        opt.columnar = true;
       } else if (arg == "--demo") {
         opt.demo = true;
       } else {
@@ -248,9 +259,29 @@ int main(int argc, char** argv) {
     }
 
     const roadnet::RoadNetwork net = roadnet::load_network(opt.network_path);
-    const traj::TrajectoryDataset data = traj::load_dataset(opt.trajectories_path);
-    std::cout << "loaded " << net.segment_count() << " segments, " << data.size()
-              << " trajectories (" << data.total_points() << " points)\n";
+    std::unique_ptr<store::ColumnarTrajectoryStore> cstore;
+    traj::TrajectoryDataset data;
+    std::size_t n_trajectories = 0;
+    if (opt.columnar) {
+      cstore = std::make_unique<store::ColumnarTrajectoryStore>(opt.trajectories_path);
+      n_trajectories = cstore->size();
+      std::cout << "loaded " << net.segment_count() << " segments; mapped "
+                << n_trajectories << " trajectories (" << cstore->num_points()
+                << " points, " << cstore->bytes_mapped() << " bytes, out-of-core)\n";
+    } else {
+      data = traj::load_dataset(opt.trajectories_path);
+      n_trajectories = data.size();
+      std::cout << "loaded " << net.segment_count() << " segments, " << data.size()
+                << " trajectories (" << data.total_points() << " points)\n";
+    }
+
+    // Out-of-core runs sample /proc/self so the metrics dump carries the
+    // demand-paging cost of the mapped store (neat_store_page_faults_total)
+    // alongside the neat_store_bytes_mapped gauge the store itself owns.
+    std::unique_ptr<obs::ResourceSampler> sampler;
+    if (opt.columnar) {
+      sampler = std::make_unique<obs::ResourceSampler>(obs::Registry::global());
+    }
 
     const bool profiling =
         !opt.profile_out.empty() && obs::prof::Profiler::global().start();
@@ -258,7 +289,13 @@ int main(int argc, char** argv) {
       NEAT_LOG(kWarn, "cli").msg("profiler busy, running without --profile-out");
     }
     const NeatClusterer clusterer(net, opt.config);
-    const Result res = clusterer.run(data);
+    Result res;
+    if (opt.columnar) {
+      store::ColumnarTrajectorySource source(*cstore);
+      res = clusterer.run(source);
+    } else {
+      res = clusterer.run(data);
+    }
     if (profiling) {
       const obs::prof::Profile profile = obs::prof::Profiler::global().stop();
       std::ofstream out(opt.profile_out);
@@ -270,7 +307,7 @@ int main(int argc, char** argv) {
                 << "% symbolized; render: python3 tools/fold2svg.py "
                 << opt.profile_out << " profile.svg)\n";
     }
-    eval::write_report(std::cout, net, res, data.size());
+    eval::write_report(std::cout, net, res, n_trajectories);
 
     if (opt.config.mode != Mode::kBase) {
       const std::string flows_path = opt.out_prefix + "_flows.csv";
@@ -278,6 +315,7 @@ int main(int argc, char** argv) {
       std::cout << "flow clusters written to " << flows_path << '\n';
     }
 
+    if (sampler) sampler->sample_now();  // final fault/RSS deltas
     if (!opt.metrics_out.empty()) {
       std::ofstream out(opt.metrics_out);
       if (!out) throw Error(str_cat("cannot open '", opt.metrics_out, "' for writing"));

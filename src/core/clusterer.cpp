@@ -30,18 +30,32 @@ NeatClusterer::NeatClusterer(const roadnet::RoadNetwork& net, Config config)
 }
 
 Result NeatClusterer::run(const traj::TrajectoryDataset& data) const {
+  return run_impl(data.size(), [&](const Fragmenter& fragmenter) {
+    return fragmenter.build_base_clusters(data, config_.phase1_threads);
+  });
+}
+
+Result NeatClusterer::run(TrajectorySource& source, const StreamingPhase1Options& options) const {
+  return run_impl(source.size(), [&](const Fragmenter& fragmenter) {
+    return fragmenter.build_base_clusters(source, config_.phase1_threads, options);
+  });
+}
+
+Result NeatClusterer::run_impl(
+    std::size_t num_trajectories,
+    const std::function<Phase1Output(const Fragmenter&)>& phase1) const {
   obs::ScopedSpan run_span("neat.run");
-  run_span.arg("trajectories", static_cast<std::uint64_t>(data.size()));
+  run_span.arg("trajectories", static_cast<std::uint64_t>(num_trajectories));
   Result result;
   Stopwatch watch;
 
   // Phase 1: base cluster formation.
   NEAT_LOG(kDebug, "core").msg("phase 1 starting")
-      .kv("trajectories", data.size());
+      .kv("trajectories", num_trajectories);
   {
     obs::ScopedSpan span("neat.phase1");
     const Fragmenter fragmenter(net_);
-    Phase1Output p1 = fragmenter.build_base_clusters(data, config_.phase1_threads);
+    Phase1Output p1 = phase1(fragmenter);
     result.base_clusters = std::move(p1.base_clusters);
     result.num_fragments = p1.num_fragments;
     result.num_gap_repairs = p1.num_gap_repairs;

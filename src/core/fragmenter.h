@@ -23,6 +23,34 @@
 
 namespace neat {
 
+/// Abstract random-access trajectory source for the out-of-core Phase 1
+/// walk. Implementations materialize trajectories on demand (e.g. from an
+/// mmap-backed columnar file), so the dataset never has to fit in memory.
+/// The interface lives in core (not store) because the fragmenter consumes
+/// it; store provides the columnar-backed implementation.
+class TrajectorySource {
+ public:
+  virtual ~TrajectorySource() = default;
+
+  /// Number of trajectories.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Materializes trajectory `i`. Must be safe to call concurrently for
+  /// distinct indices (Phase 1 workers pull from one batch in parallel).
+  [[nodiscard]] virtual traj::Trajectory at(std::size_t i) const = 0;
+
+  /// Called serially after trajectories [begin, end) have been consumed —
+  /// a paging source can drop the range's backing pages here.
+  virtual void batch_done(std::size_t begin, std::size_t end);
+};
+
+/// Tuning of the streaming (out-of-core) Phase 1 overload.
+struct StreamingPhase1Options {
+  /// Trajectories materialized per batch; bounds peak memory. Values of 0
+  /// are treated as 1.
+  std::size_t batch_size{4096};
+};
+
 /// Result of Phase 1 over a dataset.
 struct Phase1Output {
   /// Base clusters sorted by (density desc, sid asc); index 0 is the
@@ -57,6 +85,16 @@ class Fragmenter {
   /// mean serial.
   [[nodiscard]] Phase1Output build_base_clusters(const traj::TrajectoryDataset& data,
                                                  unsigned n_threads = 1) const;
+
+  /// Out-of-core Phase 1: walks `source` in batches of
+  /// `options.batch_size` trajectories (each batch fragmented across
+  /// `n_threads` workers, grouped serially) and merges the per-batch
+  /// outputs with the exact distributed merge, so the result is
+  /// bit-identical to the in-memory overload at any batch size and thread
+  /// count while peak memory stays bounded by one batch.
+  [[nodiscard]] Phase1Output build_base_clusters(TrajectorySource& source,
+                                                 unsigned n_threads = 1,
+                                                 const StreamingPhase1Options& options = {}) const;
 
  private:
   const roadnet::RoadNetwork& net_;

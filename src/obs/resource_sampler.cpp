@@ -19,6 +19,8 @@ namespace {
 
 /// The fields of /proc/self/stat the sampler reports.
 struct ProcStat {
+  std::uint64_t minflt{0};
+  std::uint64_t majflt{0};
   double utime_s{0.0};
   double stime_s{0.0};
   long threads{0};
@@ -39,13 +41,15 @@ bool read_proc_stat(ProcStat& out) {
   std::vector<std::string> fields;
   std::string tok;
   while (rest >> tok) fields.push_back(tok);
-  // 1-based /proc(5) numbering: utime=14, stime=15, num_threads=20,
-  // vsize=23, rss=24 — minus the two fields before the split minus one for
-  // 0-based indexing.
+  // 1-based /proc(5) numbering: minflt=10, majflt=12, utime=14, stime=15,
+  // num_threads=20, vsize=23, rss=24 — minus the two fields before the
+  // split minus one for 0-based indexing.
   if (fields.size() < 22) return false;
   const double tick = static_cast<double>(sysconf(_SC_CLK_TCK));
   const double page = static_cast<double>(sysconf(_SC_PAGESIZE));
   try {
+    out.minflt = std::stoull(fields[7]);
+    out.majflt = std::stoull(fields[9]);
     out.utime_s = std::stod(fields[11]) / tick;
     out.stime_s = std::stod(fields[12]) / tick;
     out.threads = std::stol(fields[17]);
@@ -72,6 +76,33 @@ long count_open_fds() {
 
 }  // namespace
 
+bool reset_peak_rss() {
+#ifdef __linux__
+  std::ofstream out("/proc/self/clear_refs");
+  if (!out) return false;
+  out << "5\n";
+  out.flush();
+  return static_cast<bool>(out);
+#else
+  return false;
+#endif
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef __linux__
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream rest(line.substr(6));
+    std::uint64_t kb = 0;
+    if (rest >> kb) return kb * 1024;
+    return 0;
+  }
+#endif
+  return 0;
+}
+
 ResourceSampler::ResourceSampler(Registry& registry, ResourceSamplerOptions options)
     : registry_(registry),
       options_(options),
@@ -81,6 +112,9 @@ ResourceSampler::ResourceSampler(Registry& registry, ResourceSamplerOptions opti
       cpu_system_s_(registry.gauge("neat_process_cpu_seconds", {{"mode", "system"}})),
       threads_(registry.gauge("neat_process_threads")),
       open_fds_(registry.gauge("neat_process_open_fds")),
+      peak_rss_bytes_(registry.gauge("neat_process_peak_resident_memory_bytes")),
+      minor_faults_(registry.counter("neat_store_page_faults_total", {{"kind", "minor"}})),
+      major_faults_(registry.counter("neat_store_page_faults_total", {{"kind", "major"}})),
       samples_total_(registry.counter("neat_obs_resource_samples_total")) {
   options_.period = std::max(options_.period, std::chrono::milliseconds(10));
   registry.set_help("neat_process_resident_memory_bytes",
@@ -92,6 +126,11 @@ ResourceSampler::ResourceSampler(Registry& registry, ResourceSamplerOptions opti
   registry.set_help("neat_process_threads", "Thread count of this process, sampled.");
   registry.set_help("neat_process_open_fds",
                     "Open file descriptors of this process, sampled.");
+  registry.set_help("neat_process_peak_resident_memory_bytes",
+                    "Lifetime RSS high-water mark of this process (VmHWM), sampled.");
+  registry.set_help("neat_store_page_faults_total",
+                    "Page faults taken by this process since the sampler started, by "
+                    "kind — the demand-paging cost of mmap-backed columnar scans.");
   registry.set_help("neat_obs_resource_samples_total",
                     "Resource samples taken by the obs resource sampler.");
   sample_now();
@@ -120,6 +159,16 @@ bool ResourceSampler::sample_now() {
   threads_.set(static_cast<double>(st.threads));
   const long fds = count_open_fds();
   if (fds >= 0) open_fds_.set(static_cast<double>(fds));
+  peak_rss_bytes_.set(static_cast<double>(peak_rss_bytes()));
+  // Counters are monotonic, so fault totals are reported as deltas against
+  // the previous sample; the first sample only sets the baseline.
+  if (have_fault_baseline_) {
+    minor_faults_.add(st.minflt - last_minflt_);
+    major_faults_.add(st.majflt - last_majflt_);
+  }
+  last_minflt_ = st.minflt;
+  last_majflt_ = st.majflt;
+  have_fault_baseline_ = true;
   samples_total_.add(1);
   samples_.fetch_add(1, std::memory_order_relaxed);
   return true;

@@ -10,6 +10,13 @@
 //                                        cumulative CPU, sampled (utime/stime)
 //   neat_process_threads                 thread count
 //   neat_process_open_fds                open descriptors (/proc/self/fd)
+//   neat_process_peak_resident_memory_bytes
+//                                        lifetime RSS high-water mark (VmHWM)
+//   neat_store_page_faults_total{kind="minor"|"major"}
+//                                        page faults since the sampler
+//                                        started (minflt/majflt deltas) —
+//                                        the demand-paging cost of the
+//                                        mmap-backed columnar store
 //   neat_obs_resource_samples_total      samples taken so far
 //
 // One synchronous sample runs in the constructor, so the gauges are already
@@ -28,6 +35,15 @@
 #include "obs/registry.h"
 
 namespace neat::obs {
+
+/// Lifetime resident-set high-water mark of this process in bytes (VmHWM
+/// from /proc/self/status); 0 when unavailable (non-Linux).
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// Resets the kernel's RSS high-water mark ("5" to /proc/self/clear_refs),
+/// so a benchmark can attribute a peak to one section. Returns false when
+/// unsupported.
+bool reset_peak_rss();
 
 /// Tuning of the resource sampler.
 struct ResourceSamplerOptions {
@@ -69,7 +85,13 @@ class ResourceSampler {
   Gauge& cpu_system_s_;
   Gauge& threads_;
   Gauge& open_fds_;
+  Gauge& peak_rss_bytes_;
+  Counter& minor_faults_;
+  Counter& major_faults_;
   Counter& samples_total_;
+  bool have_fault_baseline_{false};  ///< Only the sampling thread touches these.
+  std::uint64_t last_minflt_{0};
+  std::uint64_t last_majflt_{0};
   std::atomic<std::uint64_t> samples_{0};
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,87 @@
+#include "sim/synthetic_stream.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "traj/columnar.h"
+
+namespace neat::sim {
+
+SyntheticStreamStats generate_columnar_stream(const roadnet::RoadNetwork& net,
+                                              const std::string& path,
+                                              const SyntheticStreamOptions& options) {
+  NEAT_EXPECT(net.segment_count() > 0, "synthetic stream needs a non-empty network");
+  NEAT_EXPECT(options.segments_per_trajectory > 0,
+              "synthetic stream needs at least one segment per trajectory");
+  NEAT_EXPECT(options.samples_per_segment > 0,
+              "synthetic stream needs at least one sample per segment");
+  NEAT_EXPECT(options.sample_period_s > 0.0, "sample period must be positive");
+
+  traj::ColumnarWriter writer(path);
+  Rng rng(options.seed);
+
+  const std::size_t n_points =
+      options.segments_per_trajectory * options.samples_per_segment;
+  std::vector<double> ts(n_points), xs(n_points), ys(n_points);
+  std::vector<std::int32_t> segs(n_points);
+  const std::vector<std::uint8_t> flags(n_points, 0);  // raw samples only
+
+  for (std::size_t obj = 0; obj < options.trajectories; ++obj) {
+    // Start on a random segment, entering at a random endpoint; each object
+    // starts at a slightly different wall-clock time so traversal intervals
+    // are not all identical.
+    SegmentId sid(static_cast<std::int32_t>(rng.index(net.segment_count())));
+    const roadnet::Segment* seg = &net.segment(sid);
+    NodeId enter = rng.bernoulli(0.5) ? seg->a : seg->b;
+    double t = static_cast<double>(obj % 1024) * 0.25;
+
+    std::size_t p = 0;
+    for (std::size_t leg = 0; leg < options.segments_per_trajectory; ++leg) {
+      // Sample the walk across this segment. Offsets are measured from
+      // endpoint `a`, so a walk entering at `b` runs them backwards.
+      const double len = seg->length;
+      const bool from_a = enter == seg->a;
+      for (std::size_t k = 0; k < options.samples_per_segment; ++k) {
+        const double frac = (static_cast<double>(k) + 0.5) /
+                            static_cast<double>(options.samples_per_segment);
+        const double offset = from_a ? len * frac : len * (1.0 - frac);
+        const Point pos = net.point_on_segment(sid, offset);
+        ts[p] = t;
+        segs[p] = sid.value();
+        xs[p] = pos.x;
+        ys[p] = pos.y;
+        ++p;
+        t += options.sample_period_s;
+      }
+
+      // Cross the reached junction into an adjacent segment; dead ends turn
+      // the walk around. Adjacency keeps Phase 1 on its junction-insertion
+      // fast path (no shortest-path gap repair).
+      const NodeId exit = net.other_endpoint(sid, enter);
+      const std::span<const SegmentId> star = net.segments_at(exit);
+      SegmentId next = sid;
+      if (star.size() > 1) {
+        do {
+          next = star[rng.index(star.size())];
+        } while (next == sid);
+      }
+      enter = exit;
+      sid = next;
+      seg = &net.segment(sid);
+    }
+
+    writer.append(TrajectoryId(static_cast<std::int64_t>(obj)), ts.data(), segs.data(),
+                  xs.data(), ys.data(), flags.data(), n_points);
+  }
+
+  SyntheticStreamStats stats;
+  stats.trajectories = writer.trajectories();
+  stats.points = writer.points();
+  writer.finish();
+  return stats;
+}
+
+}  // namespace neat::sim

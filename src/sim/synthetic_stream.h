@@ -1,0 +1,48 @@
+// Bulk synthetic trajectory generation straight to the columnar format.
+//
+// The mobility simulator (mobility_simulator.h) reproduces the paper's
+// hotspot/destination generation process but materializes every trajectory
+// in memory and routes each trip with a shortest-path search — at the
+// million-trajectory scale of the out-of-core benchmarks both are
+// prohibitive. This generator instead emits corridor walks: each object
+// starts on a random segment and keeps crossing into an adjacent segment at
+// the junction it reaches, sampling its position as it goes. Consecutive
+// samples therefore always sit on the same or an adjacent segment, which
+// exercises exactly the Phase 1 fast path (junction-point insertion, no
+// shortest-path gap repair), and trajectories stream into a ColumnarWriter
+// one at a time, so generation is bounded-memory at any scale.
+// Deterministic in (network, options).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "roadnet/road_network.h"
+
+namespace neat::sim {
+
+/// Parameters of one synthetic columnar dataset.
+struct SyntheticStreamOptions {
+  std::size_t trajectories{1'000'000};
+  std::size_t segments_per_trajectory{6};  ///< Corridor length in segments.
+  std::size_t samples_per_segment{24};     ///< Location samples per segment.
+  double sample_period_s{2.0};             ///< Time between samples.
+  std::uint64_t seed{42};
+};
+
+/// What generate_columnar_stream wrote.
+struct SyntheticStreamStats {
+  std::size_t trajectories{0};
+  std::size_t points{0};
+};
+
+/// Generates `options.trajectories` corridor walks over `net` and streams
+/// them into the columnar file at `path`. Peak memory is one trajectory's
+/// columns plus the writer's per-trajectory index, independent of the
+/// dataset size. Throws neat::Error on I/O failure.
+SyntheticStreamStats generate_columnar_stream(const roadnet::RoadNetwork& net,
+                                              const std::string& path,
+                                              const SyntheticStreamOptions& options);
+
+}  // namespace neat::sim

@@ -17,10 +17,20 @@ void TrajectoryStore::insert(traj::Trajectory tr) {
               str_cat("TrajectoryStore: duplicate trajectory id ", tr.id().value()));
 
   // Fragment extraction both validates the segment references and yields
-  // the traversal intervals for the segment index.
+  // the traversal intervals for the segment index. Each per-segment list is
+  // kept sorted by (enter time, trajectory id) at insert, so reads are
+  // zero-copy; one trajectory's fragments arrive in time order, making the
+  // common upper_bound position the list's end.
   const std::vector<TFragment> fragments = fragmenter_.fragment(tr);
   for (const TFragment& f : fragments) {
-    segment_index_[f.sid].push_back(Traversal{tr.id(), f.entry.t, f.exit.t});
+    std::vector<Traversal>& list = segment_index_[f.sid];
+    const Traversal t{tr.id(), f.entry.t, f.exit.t};
+    const auto pos = std::upper_bound(list.begin(), list.end(), t,
+                                      [](const Traversal& a, const Traversal& b) {
+                                        if (a.enter_t != b.enter_t) return a.enter_t < b.enter_t;
+                                        return a.trid < b.trid;
+                                      });
+    list.insert(pos, t);
     ++num_traversals_;
   }
   index_of_.emplace(tr.id(), trajectories_.size());
@@ -45,16 +55,11 @@ const traj::Trajectory* TrajectoryStore::find(TrajectoryId id) const {
   return it == index_of_.end() ? nullptr : &trajectories_[it->second];
 }
 
-std::vector<Traversal> TrajectoryStore::traversals(SegmentId sid) const {
+const std::vector<Traversal>& TrajectoryStore::traversals(SegmentId sid) const {
   static_cast<void>(net_.segment(sid));  // bounds check
+  static const std::vector<Traversal> kEmpty;
   const auto it = segment_index_.find(sid);
-  if (it == segment_index_.end()) return {};
-  std::vector<Traversal> out = it->second;
-  std::sort(out.begin(), out.end(), [](const Traversal& a, const Traversal& b) {
-    if (a.enter_t != b.enter_t) return a.enter_t < b.enter_t;
-    return a.trid < b.trid;
-  });
-  return out;
+  return it == segment_index_.end() ? kEmpty : it->second;
 }
 
 std::vector<TrajectoryId> TrajectoryStore::trajectories_on(SegmentId sid, double t_begin,

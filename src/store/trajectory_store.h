@@ -63,7 +63,9 @@ class TrajectoryStore {
   [[nodiscard]] const traj::Trajectory* find(TrajectoryId id) const;
 
   /// All traversals of a segment, ordered by (enter time, trajectory id).
-  [[nodiscard]] std::vector<Traversal> traversals(SegmentId sid) const;
+  /// Zero-copy: the list is maintained sorted at insert (reads never
+  /// re-sort) and the reference is valid until the next insert.
+  [[nodiscard]] const std::vector<Traversal>& traversals(SegmentId sid) const;
 
   /// Distinct trajectories that traversed `sid` with a traversal interval
   /// intersecting [t_begin, t_end], ascending. Pass an unbounded window via
@@ -98,7 +100,7 @@ class TrajectoryStore {
   Fragmenter fragmenter_;
   std::vector<traj::Trajectory> trajectories_;
   std::unordered_map<TrajectoryId, std::size_t> index_of_;
-  /// Per segment: traversal list (kept sorted on read, built append-only).
+  /// Per segment: traversal list, kept sorted by (enter_t, trid) at insert.
   std::unordered_map<SegmentId, std::vector<Traversal>> segment_index_;
   std::size_t num_traversals_{0};
 };

@@ -1,0 +1,228 @@
+#include "traj/columnar.h"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "traj/io.h"
+
+namespace neat::traj {
+
+namespace {
+
+/// Bytes of zero padding to reach the next 8-byte boundary after `pos`.
+std::uint64_t pad8(std::uint64_t pos) { return (8 - pos % 8) % 8; }
+
+void write_bytes(std::ostream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+void write_padding(std::ostream& out, std::uint64_t n) {
+  static constexpr char kZeros[8] = {};
+  write_bytes(out, kZeros, n);
+}
+
+}  // namespace
+
+void Fnv1a::update(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= 0x100000001b3ULL;
+  }
+}
+
+/// One spilled point column: the append stream plus its running digest.
+struct ColumnarWriter::Spill {
+  explicit Spill(std::string p) : path(std::move(p)), out(path, std::ios::binary) {
+    if (!out) throw Error(str_cat("cannot open spill file '", path, "' for writing"));
+  }
+
+  void write(const void* data, std::size_t n) {
+    write_bytes(out, data, n);
+    digest.update(data, n);
+    bytes += n;
+  }
+
+  std::string path;
+  std::ofstream out;
+  Fnv1a digest;
+  std::uint64_t bytes{0};
+};
+
+ColumnarWriter::ColumnarWriter(std::string path) : path_(std::move(path)) {
+  static constexpr const char* kCols[] = {"t", "seg", "x", "y", "flags"};
+  spills_.reserve(5);
+  for (const char* col : kCols) {
+    spills_.push_back(std::make_unique<Spill>(str_cat(path_, ".tmp.", col)));
+  }
+  index_.push_back(0);
+}
+
+ColumnarWriter::~ColumnarWriter() {
+  for (const auto& spill : spills_) {
+    if (spill) std::remove(spill->path.c_str());
+  }
+}
+
+void ColumnarWriter::append(const Trajectory& tr) {
+  NEAT_EXPECT(!tr.empty(), "ColumnarWriter: cannot append an empty trajectory");
+  // Per-trajectory column staging (reused across calls via static capacity
+  // growth is not worth the state; trajectories are short).
+  std::vector<double> ts, xs, ys;
+  std::vector<std::int32_t> segs;
+  std::vector<std::uint8_t> flags;
+  const std::size_t n = tr.size();
+  ts.reserve(n);
+  segs.reserve(n);
+  xs.reserve(n);
+  ys.reserve(n);
+  flags.reserve(n);
+  for (const Location& loc : tr.points()) {
+    ts.push_back(loc.t);
+    segs.push_back(loc.sid.value());
+    xs.push_back(loc.pos.x);
+    ys.push_back(loc.pos.y);
+    flags.push_back(loc.junction_point ? 1 : 0);
+  }
+  append(tr.id(), ts.data(), segs.data(), xs.data(), ys.data(), flags.data(), n);
+}
+
+void ColumnarWriter::append(TrajectoryId trid, const double* ts, const std::int32_t* segs,
+                            const double* xs, const double* ys, const std::uint8_t* flags,
+                            std::size_t n) {
+  NEAT_EXPECT(!finished_, "ColumnarWriter: append after finish()");
+  NEAT_EXPECT(n > 0, "ColumnarWriter: cannot append an empty trajectory");
+  NEAT_EXPECT(seen_ids_.insert(trid.value()).second,
+              str_cat("ColumnarWriter: duplicate trajectory id ", trid.value()));
+  for (std::size_t i = 1; i < n; ++i) {
+    NEAT_EXPECT(ts[i] >= ts[i - 1],
+                str_cat("ColumnarWriter: trajectory ", trid.value(),
+                        ": timestamps must be non-decreasing"));
+  }
+  spills_[0]->write(ts, n * sizeof(double));
+  spills_[1]->write(segs, n * sizeof(std::int32_t));
+  spills_[2]->write(xs, n * sizeof(double));
+  spills_[3]->write(ys, n * sizeof(double));
+  spills_[4]->write(flags, n * sizeof(std::uint8_t));
+  trids_.push_back(trid.value());
+  num_points_ += n;
+  index_.push_back(num_points_);
+}
+
+void ColumnarWriter::finish() {
+  NEAT_EXPECT(!finished_, "ColumnarWriter: finish() called twice");
+  finished_ = true;
+
+  ColumnarHeader header;
+  header.num_trajectories = trids_.size();
+  header.num_points = num_points_;
+  std::uint64_t pos = sizeof(ColumnarHeader);
+  const auto place = [&pos](std::uint64_t bytes) {
+    pos += pad8(pos);
+    const std::uint64_t at = pos;
+    pos += bytes;
+    return at;
+  };
+  header.off_trid = place(trids_.size() * sizeof(std::int64_t));
+  header.off_index = place(index_.size() * sizeof(std::uint64_t));
+  header.off_t = place(spills_[0]->bytes);
+  header.off_seg = place(spills_[1]->bytes);
+  header.off_x = place(spills_[2]->bytes);
+  header.off_y = place(spills_[3]->bytes);
+  header.off_flags = place(spills_[4]->bytes);
+  pos += pad8(pos);  // footer is 8-aligned like every section
+
+  // Checksum: FNV-1a over the per-section digests, in section order.
+  Fnv1a trid_digest;
+  trid_digest.update(trids_.data(), trids_.size() * sizeof(std::int64_t));
+  Fnv1a index_digest;
+  index_digest.update(index_.data(), index_.size() * sizeof(std::uint64_t));
+  Fnv1a combined;
+  const auto chain = [&combined](const Fnv1a& section) {
+    const std::uint64_t d = section.digest();
+    combined.update(&d, sizeof(d));
+  };
+  chain(trid_digest);
+  chain(index_digest);
+  for (const auto& spill : spills_) chain(spill->digest);
+
+  std::ofstream out(path_, std::ios::binary);
+  if (!out) throw Error(str_cat("cannot open '", path_, "' for writing"));
+  std::uint64_t written = 0;
+  const auto emit = [&](const void* data, std::uint64_t n) {
+    write_bytes(out, data, n);
+    written += n;
+  };
+  const auto emit_section = [&](std::uint64_t off, const void* data, std::uint64_t n) {
+    write_padding(out, off - written);
+    written = off;
+    emit(data, n);
+  };
+  emit(&header, sizeof(header));
+  emit_section(header.off_trid, trids_.data(), trids_.size() * sizeof(std::int64_t));
+  emit_section(header.off_index, index_.data(), index_.size() * sizeof(std::uint64_t));
+
+  const std::uint64_t col_offsets[] = {header.off_t, header.off_seg, header.off_x,
+                                       header.off_y, header.off_flags};
+  std::vector<char> buf(1 << 20);
+  for (std::size_t c = 0; c < spills_.size(); ++c) {
+    Spill& spill = *spills_[c];
+    spill.out.flush();
+    if (!spill.out) throw Error(str_cat("write to spill file '", spill.path, "' failed"));
+    spill.out.close();
+    std::ifstream in(spill.path, std::ios::binary);
+    if (!in) throw Error(str_cat("cannot reopen spill file '", spill.path, "'"));
+    write_padding(out, col_offsets[c] - written);
+    written = col_offsets[c];
+    std::uint64_t copied = 0;
+    while (in) {
+      in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+      const std::streamsize got = in.gcount();
+      if (got <= 0) break;
+      emit(buf.data(), static_cast<std::uint64_t>(got));
+      copied += static_cast<std::uint64_t>(got);
+    }
+    if (copied != spill.bytes) {
+      throw Error(str_cat("spill file '", spill.path, "' is ", copied, " bytes, expected ",
+                          spill.bytes));
+    }
+  }
+
+  ColumnarFooter footer;
+  footer.checksum = combined.digest();
+  write_padding(out, pos - written);
+  written = pos;
+  emit(&footer, sizeof(footer));
+  out.flush();
+  if (!out) throw Error(str_cat("write to '", path_, "' failed"));
+  out.close();
+  for (const auto& spill : spills_) std::remove(spill->path.c_str());
+}
+
+ColumnarConvertStats convert_csv_to_columnar(std::istream& in, const std::string& out_path) {
+  ColumnarWriter writer(out_path);
+  for_each_trajectory(in, [&writer](Trajectory&& tr) { writer.append(tr); });
+  ColumnarConvertStats stats;
+  stats.trajectories = writer.trajectories();
+  stats.points = writer.points();
+  writer.finish();
+  return stats;
+}
+
+ColumnarConvertStats convert_csv_to_columnar(const std::string& csv_path,
+                                             const std::string& out_path) {
+  std::ifstream in(csv_path);
+  if (!in) throw Error(str_cat("cannot open '", csv_path, "' for reading"));
+  return convert_csv_to_columnar(in, out_path);
+}
+
+void save_columnar(const TrajectoryDataset& data, const std::string& path) {
+  ColumnarWriter writer(path);
+  for (const Trajectory& tr : data) writer.append(tr);
+  writer.finish();
+}
+
+}  // namespace neat::traj

@@ -1,0 +1,153 @@
+// Binary columnar (SoA) trajectory format — the on-disk half of the
+// out-of-core data plane (paper §II-C: clients upload trajectories to a
+// server that clustering then reads at scale).
+//
+// A `.neatcol` file stores a trajectory dataset as per-column blobs instead
+// of row-oriented CSV text, so a reader can memory-map the file and page in
+// only the columns (and the byte ranges) a scan actually touches:
+//
+//   [header]   magic "NEATCOL\1", version, trajectory/point counts, and the
+//              absolute byte offset of every section (8-byte aligned)
+//   [trid]     i64   per trajectory: trajectory id
+//   [index]    u64   per trajectory + 1: start index of its points (the
+//                    per-trajectory offsets index; entry i..i+1 delimits
+//                    trajectory i's rows in every point column)
+//   [t]        f64   per point: sample timestamp (seconds)
+//   [seg]      i32   per point: road segment id (SegmentId representation)
+//   [x]        f64   per point: planar x (metres)
+//   [y]        f64   per point: planar y (metres)
+//   [flags]    u8    per point: bit 0 = system-inserted junction point
+//   [footer]   u64 checksum (FNV-1a over the per-section FNV-1a digests, in
+//              section order), u64 end magic "NEATEND\1"; 8-aligned like
+//              every section, so the file ends at the footer's 16 bytes
+//
+// The writer streams: appended trajectories go straight to per-column spill
+// files and only the (small) per-trajectory index is kept in memory, so a
+// conversion or generation run is bounded-memory regardless of dataset
+// size. finish() assembles the final file and computes the checksum from
+// the running per-column digests — no second pass over the data.
+//
+// Values round-trip bit-exactly (doubles are stored verbatim), so a
+// pipeline run over the columnar file is bit-identical to one over the
+// source CSV. Byte order is the host's (little-endian on every platform we
+// build); the magic doubles as an endianness check.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+
+namespace neat::traj {
+
+inline constexpr std::uint64_t kColumnarMagic = 0x014C4F435441454EULL;     // "NEATCOL\1" LE
+inline constexpr std::uint64_t kColumnarEndMagic = 0x01444E455441454EULL;  // "NEATEND\1" LE
+inline constexpr std::uint32_t kColumnarVersion = 1;
+
+/// Fixed-size file header (see the layout comment above). All section
+/// offsets are absolute byte positions, 8-byte aligned.
+struct ColumnarHeader {
+  std::uint64_t magic{kColumnarMagic};
+  std::uint32_t version{kColumnarVersion};
+  std::uint32_t flags{0};  ///< Reserved; must be 0 in version 1.
+  std::uint64_t num_trajectories{0};
+  std::uint64_t num_points{0};
+  std::uint64_t off_trid{0};
+  std::uint64_t off_index{0};
+  std::uint64_t off_t{0};
+  std::uint64_t off_seg{0};
+  std::uint64_t off_x{0};
+  std::uint64_t off_y{0};
+  std::uint64_t off_flags{0};
+};
+static_assert(sizeof(ColumnarHeader) == 88, "on-disk header layout must be stable");
+
+/// Trailing footer: checksum then end magic.
+struct ColumnarFooter {
+  std::uint64_t checksum{0};
+  std::uint64_t end_magic{kColumnarEndMagic};
+};
+static_assert(sizeof(ColumnarFooter) == 16, "on-disk footer layout must be stable");
+
+/// Incremental FNV-1a (64-bit), the format's checksum primitive.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t n);
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_{0xcbf29ce484222325ULL};
+};
+
+/// Streams a trajectory dataset into a `.neatcol` file with bounded memory.
+/// Point columns spill to `<path>.tmp.<col>` files as trajectories are
+/// appended; finish() assembles the final file and removes the spill files.
+/// Not thread-safe; append trajectories from one thread.
+class ColumnarWriter {
+ public:
+  /// Opens the spill files next to `path`. Throws neat::Error when any
+  /// cannot be created.
+  explicit ColumnarWriter(std::string path);
+
+  /// Removes the spill files (and never the final file) when finish() was
+  /// not reached.
+  ~ColumnarWriter();
+
+  ColumnarWriter(const ColumnarWriter&) = delete;
+  ColumnarWriter& operator=(const ColumnarWriter&) = delete;
+
+  /// Appends one trajectory. Throws neat::PreconditionError on an empty
+  /// trajectory or a duplicate trajectory id.
+  void append(const Trajectory& tr);
+
+  /// Column-level append, for generators that never materialize a
+  /// Trajectory. `n` must be > 0 and all arrays must hold `n` values;
+  /// timestamps must be non-decreasing.
+  void append(TrajectoryId trid, const double* ts, const std::int32_t* segs,
+              const double* xs, const double* ys, const std::uint8_t* flags,
+              std::size_t n);
+
+  [[nodiscard]] std::size_t trajectories() const { return trids_.size(); }
+  [[nodiscard]] std::size_t points() const { return num_points_; }
+
+  /// Writes header + index + columns + footer to the final path and removes
+  /// the spill files. Must be called exactly once; throws neat::Error on
+  /// I/O failure.
+  void finish();
+
+ private:
+  struct Spill;  // one per point column: stream + running digest
+
+  std::string path_;
+  std::vector<std::unique_ptr<Spill>> spills_;
+  std::vector<std::int64_t> trids_;
+  std::vector<std::uint64_t> index_;  ///< Point start per trajectory.
+  std::unordered_set<std::int64_t> seen_ids_;
+  std::size_t num_points_{0};
+  bool finished_{false};
+};
+
+/// Statistics of one CSV -> columnar conversion.
+struct ColumnarConvertStats {
+  std::size_t trajectories{0};
+  std::size_t points{0};
+};
+
+/// Streams a trajectory CSV (the traj::save_dataset format) into a columnar
+/// file with bounded memory: one trajectory is in flight at a time. Throws
+/// neat::ParseError on malformed CSV, neat::Error on I/O failure.
+ColumnarConvertStats convert_csv_to_columnar(std::istream& in, const std::string& out_path);
+
+/// File variant. Throws neat::Error when `csv_path` cannot be opened.
+ColumnarConvertStats convert_csv_to_columnar(const std::string& csv_path,
+                                             const std::string& out_path);
+
+/// Writes an in-memory dataset as a columnar file (tests, small exports).
+void save_columnar(const TrajectoryDataset& data, const std::string& path);
+
+}  // namespace neat::traj

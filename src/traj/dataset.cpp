@@ -9,12 +9,15 @@ namespace neat::traj {
 
 void TrajectoryDataset::add(Trajectory tr) {
   NEAT_EXPECT(!tr.empty(), "cannot add an empty trajectory to a dataset");
-  for (const Trajectory& existing : trajectories_) {
-    if (existing.id() == tr.id()) {
-      throw PreconditionError(str_cat("duplicate trajectory id: ", tr.id().value()));
-    }
+  if (!ids_.insert(tr.id()).second) {
+    throw PreconditionError(str_cat("duplicate trajectory id: ", tr.id().value()));
   }
   trajectories_.push_back(std::move(tr));
+}
+
+void TrajectoryDataset::reserve(std::size_t n) {
+  trajectories_.reserve(n);
+  ids_.reserve(n);
 }
 
 const Trajectory& TrajectoryDataset::operator[](std::size_t i) const {

@@ -1,6 +1,7 @@
 // Collections of trajectories plus dataset-level statistics (Table II shape).
 #pragma once
 
+#include <unordered_set>
 #include <vector>
 
 #include "traj/trajectory.h"
@@ -23,8 +24,11 @@ class TrajectoryDataset {
   TrajectoryDataset() = default;
 
   /// Adds a trajectory. Throws neat::PreconditionError for duplicate ids or
-  /// empty trajectories.
+  /// empty trajectories. O(1) amortized — the id set is indexed.
   void add(Trajectory tr);
+
+  /// Pre-allocates capacity for `n` trajectories (bulk loaders).
+  void reserve(std::size_t n);
 
   [[nodiscard]] std::size_t size() const { return trajectories_.size(); }
   [[nodiscard]] bool empty() const { return trajectories_.empty(); }
@@ -40,6 +44,7 @@ class TrajectoryDataset {
 
  private:
   std::vector<Trajectory> trajectories_;
+  std::unordered_set<TrajectoryId> ids_;
 };
 
 }  // namespace neat::traj

@@ -5,6 +5,7 @@
 //   <trid>,<seq>,<sid>,<x>,<y>,<t>,<junction 0|1>
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
 
@@ -18,6 +19,14 @@ void save_dataset(const TrajectoryDataset& data, std::ostream& out);
 /// Writes the dataset to a file. Throws neat::Error when the file cannot be
 /// opened.
 void save_dataset(const TrajectoryDataset& data, const std::string& path);
+
+/// Streams a trajectory CSV, invoking `fn` once per completed trajectory in
+/// file order — the bounded-memory primitive behind load_dataset and the
+/// CSV -> columnar converter (only one trajectory is in flight at a time).
+/// Rows are parsed with std::from_chars and no per-field allocation; rows
+/// containing quoted fields fall back to the RFC-4180 CSV reader. Throws
+/// neat::ParseError on malformed data.
+void for_each_trajectory(std::istream& in, const std::function<void(Trajectory&&)>& fn);
 
 /// Reads a dataset from a stream. Throws neat::ParseError on malformed data.
 [[nodiscard]] TrajectoryDataset load_dataset(std::istream& in);

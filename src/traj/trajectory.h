@@ -39,6 +39,9 @@ class Trajectory {
   /// precedes the current last point (time order is the class invariant).
   void append(const Location& loc);
 
+  /// Pre-allocates capacity for `n` points (loaders and converters).
+  void reserve(std::size_t n) { points_.reserve(n); }
+
   [[nodiscard]] const Location& point(std::size_t i) const;
   [[nodiscard]] const Location& front() const;
   [[nodiscard]] const Location& back() const;

@@ -1,9 +1,16 @@
-// Round-trip tests for network and dataset persistence.
+// Round-trip tests for network and dataset persistence, plus equivalence
+// of the allocation-free fast trajectory parser with a reference parse
+// built on the RFC-4180 CSV reader.
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/csv.h"
 #include "common/error.h"
+#include "common/string_util.h"
 #include "roadnet/generators.h"
 #include "roadnet/io.h"
 #include "test_util.h"
@@ -11,6 +18,49 @@
 
 namespace neat {
 namespace {
+
+/// Reference trajectory parser: the full CsvReader on every row, no fast
+/// path. The production loader must produce exactly this.
+traj::TrajectoryDataset reference_load_dataset(std::istream& in) {
+  traj::TrajectoryDataset data;
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  traj::Trajectory current;
+  bool has_current = false;
+  while (reader.read_row(row)) {
+    if (row.size() == 1 && trim(row[0]).empty()) continue;
+    if (row.size() != 7) throw ParseError("location row needs 7 fields");
+    const auto trid = TrajectoryId(parse_int(row[0]));
+    if (!has_current || current.id() != trid) {
+      if (has_current) data.add(std::move(current));
+      current = traj::Trajectory(trid);
+      has_current = true;
+    }
+    traj::Location loc;
+    loc.sid = SegmentId(static_cast<std::int32_t>(parse_int(row[2])));
+    loc.pos = {parse_double(row[3]), parse_double(row[4])};
+    loc.t = parse_double(row[5]);
+    loc.junction_point = parse_int(row[6]) != 0;
+    current.append(loc);
+  }
+  if (has_current) data.add(std::move(current));
+  return data;
+}
+
+void expect_same_dataset(const traj::TrajectoryDataset& a, const traj::TrajectoryDataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].id(), b[i].id());
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t p = 0; p < a[i].size(); ++p) {
+      EXPECT_EQ(a[i].point(p).sid, b[i].point(p).sid);
+      EXPECT_EQ(a[i].point(p).pos.x, b[i].point(p).pos.x);
+      EXPECT_EQ(a[i].point(p).pos.y, b[i].point(p).pos.y);
+      EXPECT_EQ(a[i].point(p).t, b[i].point(p).t);
+      EXPECT_EQ(a[i].point(p).junction_point, b[i].point(p).junction_point);
+    }
+  }
+}
 
 TEST(NetworkIo, RoundTripPreservesEverything) {
   roadnet::CityParams p;
@@ -85,6 +135,37 @@ TEST(DatasetIo, RoundTrip) {
   EXPECT_NEAR(loaded[0].point(0).pos.x, 0.5, 1e-3);
   EXPECT_NEAR(loaded[0].point(1).t, 1.5, 1e-3);
   EXPECT_EQ(loaded[1].id(), TrajectoryId(11));
+}
+
+TEST(DatasetIo, FastParserMatchesReferenceOnGoldenFixture) {
+  const std::string path = std::string(NEAT_TEST_DATA_DIR) + "/golden_trajectories.csv";
+  std::ifstream fast_in(path);
+  ASSERT_TRUE(fast_in) << "missing fixture " << path;
+  std::ifstream ref_in(path);
+  const traj::TrajectoryDataset fast = traj::load_dataset(fast_in);
+  const traj::TrajectoryDataset reference = reference_load_dataset(ref_in);
+  ASSERT_GT(fast.size(), 0u);
+  expect_same_dataset(fast, reference);
+}
+
+TEST(DatasetIo, FastParserMatchesReferenceOnAwkwardCsv) {
+  // CRLF line endings, blank lines, surrounding whitespace in numeric
+  // fields, and a quoted field (which forces the RFC-4180 fallback path).
+  const std::string csv =
+      "1,0,0,1.5,2.5,0.0,0\r\n"
+      "\r\n"
+      "1,1,0, 3.25 ,4.5,1.0,1\n"
+      "\"2\",0,\"1\",7.125,8.0,0.5,0\n"
+      "\n"
+      "2,1,1,9.0,10.0,1.5,0\n";
+  std::istringstream fast_in(csv);
+  std::istringstream ref_in(csv);
+  const traj::TrajectoryDataset fast = traj::load_dataset(fast_in);
+  const traj::TrajectoryDataset reference = reference_load_dataset(ref_in);
+  ASSERT_EQ(fast.size(), 2u);
+  EXPECT_EQ(fast[0].point(1).pos.x, 3.25);
+  EXPECT_EQ(fast[1].point(0).sid, SegmentId(1));
+  expect_same_dataset(fast, reference);
 }
 
 TEST(DatasetIo, RejectsMalformedRows) {

@@ -62,6 +62,33 @@ TEST_F(StoreFixture, TraversalsSortedByTime) {
   EXPECT_THROW(store_.traversals(SegmentId(99)), Error);
 }
 
+TEST(Store, RepeatedReadsDoNotResort) {
+  // traversals() is zero-copy: the per-segment list is maintained sorted at
+  // insert, so repeated reads return the same vector without re-sorting.
+  const roadnet::RoadNetwork net = testutil::line_network(2);
+  TrajectoryStore store(net);
+  // Insert out of time order: trid 7 enters segment 0 at t=100, trid 3 at
+  // t=0, trid 5 also at t=0 (ties break by ascending trajectory id).
+  store.insert(testutil::make_path_trajectory(net, 7, {NodeId(0), NodeId(1)}, 100.0));
+  store.insert(testutil::make_path_trajectory(net, 5, {NodeId(0), NodeId(1)}, 0.0));
+  store.insert(testutil::make_path_trajectory(net, 3, {NodeId(0), NodeId(1)}, 0.0));
+
+  const std::vector<Traversal>& first = store.traversals(SegmentId(0));
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].trid, TrajectoryId(3));
+  EXPECT_EQ(first[1].trid, TrajectoryId(5));
+  EXPECT_EQ(first[2].trid, TrajectoryId(7));
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(first[i - 1].enter_t, first[i].enter_t);
+  }
+  // Same storage on every read (reference identity, no copy, no re-sort).
+  EXPECT_EQ(&first, &store.traversals(SegmentId(0)));
+  // A segment nobody traversed yields the shared empty list, also stable.
+  const std::vector<Traversal>& empty = store.traversals(SegmentId(1));
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(&empty, &store.traversals(SegmentId(1)));
+}
+
 TEST_F(StoreFixture, TrajectoriesOnSegmentMatchFig1Participants) {
   // PTr(S1) = {1, 2, 3, 5}; PTr(S3) = {3}.
   EXPECT_EQ(store_.trajectories_on(SegmentId(0), -kInf, kInf),
@@ -104,6 +131,66 @@ TEST_F(StoreFixture, SnapshotBetween) {
   EXPECT_EQ(store_.snapshot_between(0.0, 100.0).size(), 5u);
   EXPECT_TRUE(store_.snapshot_between(1000.0, 2000.0).empty());
   EXPECT_THROW(store_.snapshot_between(5.0, 1.0), PreconditionError);
+}
+
+TEST(Store, WindowBoundarySemantics) {
+  // Window predicates treat trajectory spans and windows as closed
+  // intervals: an exact touch at either endpoint counts.
+  const roadnet::RoadNetwork net = testutil::line_network(2);
+  TrajectoryStore store(net);
+  // One trajectory spanning [10, 13] (4 samples, 1 s apart, from t0=10).
+  store.insert(testutil::make_path_trajectory(net, 1, {NodeId(0), NodeId(1), NodeId(2)}, 10.0));
+
+  // Exact touch at the trajectory's end...
+  EXPECT_EQ(store.active_between(13.0, 99.0).size(), 1u);
+  EXPECT_EQ(store.snapshot_between(13.0, 99.0).size(), 1u);
+  // ...and at its start.
+  EXPECT_EQ(store.active_between(-99.0, 10.0).size(), 1u);
+  EXPECT_EQ(store.snapshot_between(-99.0, 10.0).size(), 1u);
+  // Just past either endpoint misses.
+  EXPECT_TRUE(store.active_between(13.001, 99.0).empty());
+  EXPECT_TRUE(store.snapshot_between(-99.0, 9.999).empty());
+  // A degenerate window [t, t] inside the span still matches.
+  EXPECT_EQ(store.active_between(11.0, 11.0).size(), 1u);
+  EXPECT_EQ(store.snapshot_between(11.0, 11.0).size(), 1u);
+  // Infinite windows see everything; inverted windows are rejected.
+  EXPECT_EQ(store.active_between(-kInf, kInf).size(), 1u);
+  EXPECT_EQ(store.snapshot_between(-kInf, kInf).size(), 1u);
+  EXPECT_THROW(store.active_between(2.0, 1.0), PreconditionError);
+  EXPECT_THROW(store.snapshot_between(2.0, 1.0), PreconditionError);
+
+  // trajectories_on applies the same closed-interval rule per traversal
+  // (the traversal ends at the interpolated junction-crossing time).
+  const auto& on_s0 = store.traversals(SegmentId(0));
+  ASSERT_EQ(on_s0.size(), 1u);
+  const double exit_t = on_s0[0].exit_t;
+  EXPECT_EQ(store.trajectories_on(SegmentId(0), exit_t, 99.0).size(), 1u);
+  EXPECT_TRUE(store.trajectories_on(SegmentId(0), exit_t + 0.001, 99.0).empty());
+}
+
+TEST(Store, StatsAfterBulkInsert) {
+  const roadnet::RoadNetwork net = roadnet::make_grid(6, 6, 110.0);
+  const sim::SimConfig scfg = sim::default_config(net, 2, 2);
+  const traj::TrajectoryDataset data = sim::MobilitySimulator(net, scfg).generate(20, 5);
+  TrajectoryStore store(net);
+  store.insert(data);
+
+  std::size_t points = 0;
+  for (const traj::Trajectory& tr : data) points += tr.size();
+  const StoreStats st = store.stats();
+  EXPECT_EQ(st.num_trajectories, data.size());
+  EXPECT_EQ(st.num_points, points);
+  // Every trajectory contributes at least one traversal, and every
+  // traversal lands on an indexed segment.
+  EXPECT_GE(st.num_traversals, data.size());
+  EXPECT_GE(st.num_indexed_segments, 1u);
+  EXPECT_LE(st.num_indexed_segments, net.segment_count());
+  // The traversal count equals the sum of the per-segment list sizes.
+  std::size_t listed = 0;
+  for (std::size_t s = 0; s < net.segment_count(); ++s) {
+    listed += store.traversals(SegmentId(static_cast<std::int32_t>(s))).size();
+  }
+  EXPECT_EQ(listed, st.num_traversals);
 }
 
 TEST(Store, TimeSlicedClusteringSeesOnlyWindowTraffic) {
